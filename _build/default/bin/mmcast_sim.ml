@@ -1,0 +1,262 @@
+(* Command-line front end to the simulator.
+
+   mmcast_sim run --approach 2 --moves L6,L1 --duration 300
+   mmcast_sim tree --approach 1 --at 100
+   mmcast_sim compare [--no-unsolicited]
+   mmcast_sim sweep --trials 8 --tquery 125,60,30,10
+   mmcast_sim trace --approach 1 --until 80 --category pim *)
+
+open Cmdliner
+open Mmcast
+
+let group = Scenario.group
+
+(* ---- shared options ---- *)
+
+let approach_arg =
+  let doc = "Delivery approach 1-4 (paper's Table 1 numbering)." in
+  Arg.(value & opt int 1 & info [ "a"; "approach" ] ~docv:"N" ~doc)
+
+let seed_arg =
+  let doc = "Random seed." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let unsolicited_arg =
+  let doc = "Disable unsolicited MLD Reports (RFC-default hosts)." in
+  Arg.(value & flag & info [ "no-unsolicited" ] ~doc)
+
+let tquery_arg =
+  let doc = "MLD Query Interval in seconds." in
+  Arg.(value & opt float 125.0 & info [ "tquery" ] ~docv:"S" ~doc)
+
+let spec_of ~approach ~seed ~no_unsolicited ~tquery =
+  if approach < 1 || approach > 4 then `Error (false, "approach must be 1-4")
+  else if tquery < Mld.Mld_config.default.Mld.Mld_config.query_response_interval then
+    `Error
+      ( false,
+        "TQuery must not be below TRespDel = 10 s (paper, section 4.4 footnote)" )
+  else
+    let mld =
+      { (Mld.Mld_config.with_query_interval tquery Mld.Mld_config.default) with
+        unsolicited_report_count = (if no_unsolicited then 0 else 2) }
+    in
+    `Ok
+      { Scenario.default_spec with
+        Scenario.approach = Approach.of_number approach;
+        seed;
+        mld }
+
+(* ---- run ---- *)
+
+let parse_moves s =
+  if String.equal s "" then []
+  else
+    String.split_on_char ',' s
+    |> List.mapi (fun i name -> (60.0 +. (60.0 *. float_of_int i), name))
+
+let run_cmd approach seed no_unsolicited tquery moves duration rate bytes loss =
+  match spec_of ~approach ~seed ~no_unsolicited ~tquery with
+  | `Error _ as e -> e
+  | `Ok _ when loss < 0.0 || loss > 1.0 -> `Error (false, "loss must be within [0,1]")
+  | `Ok spec ->
+    let scenario = Scenario.paper_figure1 spec in
+    let metrics = Metrics.attach scenario.Scenario.net in
+    if loss > 0.0 then
+      List.iter
+        (fun link -> Net.Network.set_loss_rate scenario.Scenario.net link loss)
+        (Net.Topology.links (Net.Network.topology scenario.Scenario.net));
+    let r3 = Scenario.host scenario "R3" in
+    Traffic.at scenario 5.0 (fun () -> Scenario.subscribe_receivers scenario group);
+    ignore
+      (Traffic.cbr scenario (Scenario.host scenario "S") ~group ~from_t:30.0
+         ~until:(duration -. 10.0) ~interval:(1.0 /. rate) ~bytes);
+    Workload.Mobility.script scenario r3 (parse_moves moves);
+    Scenario.run_until scenario duration;
+    Printf.printf "%s after %.0f s (%s):\n\n"
+      (Approach.name spec.Scenario.approach)
+      duration
+      (if no_unsolicited then "RFC-default MLD" else "unsolicited Reports");
+    print_endline
+      (Tree.render scenario ~source:(Host_stack.home_address (Scenario.host scenario "S"))
+         ~group);
+    Printf.printf "\nreceivers:\n";
+    List.iter
+      (fun name ->
+        let h = Scenario.host scenario name in
+        Printf.printf "  %-3s rx=%d dup=%d\n" name
+          (Host_stack.received_count h ~group)
+          (Host_stack.duplicate_count h ~group))
+      [ "R1"; "R2"; "R3" ];
+    (match Metrics.join_delay r3 ~group with
+     | Some d -> Printf.printf "\nR3 join delay after last handoff: %.2f s\n" d
+     | None -> ());
+    Printf.printf "\ntraffic:\n";
+    Metrics.pp_summary Format.std_formatter metrics;
+    if loss > 0.0 then
+      Printf.printf "injected loss: %d deliveries suppressed\n"
+        (Net.Network.losses scenario.Scenario.net);
+    let c = Metrics.control_counts metrics in
+    Printf.printf
+      "control messages: %d hellos, %d joins, %d prunes, %d grafts, %d asserts, %d \
+       queries, %d reports, %d binding updates\n"
+      c.Metrics.hellos c.Metrics.joins c.Metrics.prunes c.Metrics.grafts c.Metrics.asserts
+      c.Metrics.queries c.Metrics.reports c.Metrics.binding_updates;
+    `Ok ()
+
+let run_term =
+  let moves =
+    let doc =
+      "Comma-separated links R3 visits (one handoff per minute starting at t=60), e.g. \
+       L6,L1,L4."
+    in
+    Arg.(value & opt string "L6" & info [ "moves" ] ~docv:"LINKS" ~doc)
+  in
+  let duration =
+    let doc = "Simulated seconds." in
+    Arg.(value & opt float 300.0 & info [ "duration" ] ~docv:"S" ~doc)
+  in
+  let rate =
+    let doc = "Sender datagrams per second." in
+    Arg.(value & opt float 2.0 & info [ "rate" ] ~docv:"HZ" ~doc)
+  in
+  let bytes =
+    let doc = "Datagram payload bytes." in
+    Arg.(value & opt int 500 & info [ "bytes" ] ~docv:"B" ~doc)
+  in
+  let loss =
+    let doc = "Loss probability injected on every link (failure testing)." in
+    Arg.(value & opt float 0.0 & info [ "loss" ] ~docv:"P" ~doc)
+  in
+  Term.(
+    ret
+      (const run_cmd $ approach_arg $ seed_arg $ unsolicited_arg $ tquery_arg $ moves
+      $ duration $ rate $ bytes $ loss))
+
+(* ---- tree ---- *)
+
+let tree_cmd approach seed no_unsolicited tquery at =
+  match spec_of ~approach ~seed ~no_unsolicited ~tquery with
+  | `Error _ as e -> e
+  | `Ok spec ->
+    let scenario = Scenario.paper_figure1 spec in
+    Traffic.at scenario 5.0 (fun () -> Scenario.subscribe_receivers scenario group);
+    ignore
+      (Traffic.cbr scenario (Scenario.host scenario "S") ~group ~from_t:30.0 ~until:at
+         ~interval:0.5 ~bytes:500);
+    Scenario.run_until scenario at;
+    print_endline
+      (Tree.render scenario ~source:(Host_stack.home_address (Scenario.host scenario "S"))
+         ~group);
+    `Ok ()
+
+let tree_term =
+  let at =
+    let doc = "Snapshot time in simulated seconds." in
+    Arg.(value & opt float 100.0 & info [ "at" ] ~docv:"S" ~doc)
+  in
+  Term.(ret (const tree_cmd $ approach_arg $ seed_arg $ unsolicited_arg $ tquery_arg $ at))
+
+(* ---- compare ---- *)
+
+let compare_cmd seed no_unsolicited tquery =
+  match spec_of ~approach:1 ~seed ~no_unsolicited ~tquery with
+  | `Error _ as e -> e
+  | `Ok spec ->
+    Comparison.pp_table Format.std_formatter (Comparison.run_all ~spec ());
+    `Ok ()
+
+let compare_term =
+  Term.(ret (const compare_cmd $ seed_arg $ unsolicited_arg $ tquery_arg))
+
+(* ---- sweep ---- *)
+
+let sweep_cmd trials no_unsolicited tqueries =
+  let values =
+    String.split_on_char ',' tqueries |> List.filter_map float_of_string_opt
+  in
+  if values = [] then `Error (false, "no valid TQuery values")
+  else begin
+    let rows =
+      Experiments.timer_sweep ~trials ~unsolicited:(not no_unsolicited)
+        ~tquery_values:values ()
+    in
+    Printf.printf "%8s %22s %10s %12s %10s\n" "TQuery" "join mean/min/max [s]" "leave [s]"
+      "wasted [B]" "MLD [B/s]";
+    List.iter
+      (fun (r : Experiments.sweep_row) ->
+        Printf.printf "%8.0f %8.1f/%5.1f/%6.1f %10.1f %12.0f %10.2f\n"
+          r.Experiments.tquery_s r.join_mean_s r.join_min_s r.join_max_s r.leave_mean_s
+          r.wasted_mean_bytes r.mld_bytes_per_s)
+      rows;
+    `Ok ()
+  end
+
+let sweep_term =
+  let trials =
+    let doc = "Handoff trials per TQuery value." in
+    Arg.(value & opt int 8 & info [ "trials" ] ~docv:"N" ~doc)
+  in
+  let tqueries =
+    let doc = "Comma-separated TQuery values (seconds)." in
+    Arg.(value & opt string "125,60,30,10" & info [ "tquery" ] ~docv:"LIST" ~doc)
+  in
+  Term.(ret (const sweep_cmd $ trials $ unsolicited_arg $ tqueries))
+
+(* ---- trace ---- *)
+
+let trace_cmd approach seed no_unsolicited tquery until category =
+  match spec_of ~approach ~seed ~no_unsolicited ~tquery with
+  | `Error _ as e -> e
+  | `Ok spec ->
+    let scenario = Scenario.paper_figure1 spec in
+    Traffic.at scenario 5.0 (fun () -> Scenario.subscribe_receivers scenario group);
+    ignore
+      (Traffic.cbr scenario (Scenario.host scenario "S") ~group ~from_t:30.0 ~until
+         ~interval:0.5 ~bytes:500);
+    Traffic.at scenario 60.0 (fun () ->
+        Host_stack.move_to (Scenario.host scenario "R3") (Scenario.link scenario "L6"));
+    Scenario.run_until scenario until;
+    let trace = Net.Network.trace scenario.Scenario.net in
+    let records =
+      match category with
+      | None -> Engine.Trace.records trace
+      | Some c -> Engine.Trace.by_category trace c
+    in
+    List.iter
+      (fun r -> Format.printf "%a@." Engine.Trace.pp_record r)
+      records;
+    `Ok ()
+
+let trace_term =
+  let until =
+    let doc = "Run until this simulated time." in
+    Arg.(value & opt float 80.0 & info [ "until" ] ~docv:"S" ~doc)
+  in
+  let category =
+    let doc = "Only this trace category (mld, pim, mipv6, node, link)." in
+    Arg.(value & opt (some string) None & info [ "category" ] ~docv:"CAT" ~doc)
+  in
+  Term.(
+    ret
+      (const trace_cmd $ approach_arg $ seed_arg $ unsolicited_arg $ tquery_arg $ until
+      $ category))
+
+(* ---- assembly ---- *)
+
+let cmds =
+  [ Cmd.v
+      (Cmd.info "run" ~doc:"Run a mobile-receiver scenario and print delivery metrics")
+      run_term;
+    Cmd.v (Cmd.info "tree" ~doc:"Print the multicast distribution tree") tree_term;
+    Cmd.v
+      (Cmd.info "compare" ~doc:"Quantitative Table 1: all four approaches")
+      compare_term;
+    Cmd.v (Cmd.info "sweep" ~doc:"Section 4.4 MLD timer sweep") sweep_term;
+    Cmd.v (Cmd.info "trace" ~doc:"Dump the protocol event trace") trace_term ]
+
+let () =
+  let info =
+    Cmd.info "mmcast_sim" ~version:"1.0.0"
+      ~doc:"Mobile IPv6 + PIM-DM multicast interoperation simulator"
+  in
+  exit (Cmd.eval (Cmd.group info cmds))

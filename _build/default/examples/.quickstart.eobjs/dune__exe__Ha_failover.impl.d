@@ -1,0 +1,1 @@
+examples/ha_failover.ml: Approach Engine Host_stack Mmcast Printf Router_stack Scenario Traffic

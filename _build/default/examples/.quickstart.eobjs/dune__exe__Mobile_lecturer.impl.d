@@ -1,0 +1,1 @@
+examples/mobile_lecturer.ml: Approach Host_stack List Metrics Mmcast Pimdm Printf Router_stack Scenario Traffic Workload

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Host_stack List Metrics Mmcast Printf Scenario Traffic Tree

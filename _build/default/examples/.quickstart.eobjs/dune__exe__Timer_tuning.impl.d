@@ -1,0 +1,1 @@
+examples/timer_tuning.ml: Engine Experiments List Mld Mmcast Printf

@@ -1,0 +1,1 @@
+examples/video_stream_handoff.ml: Approach Engine Host_stack List Metrics Mld Mmcast Printf Scenario Traffic Workload

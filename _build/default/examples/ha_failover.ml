@@ -1,0 +1,75 @@
+(* Home-agent redundancy — the further work the paper points to (its
+   reference [10], "Home agent redundancy and load balancing in Mobile
+   IPv6") — applied to the multicast tunnel approaches.
+
+   A mobile viewer receives a multicast stream through a bi-directional
+   tunnel.  Two home agents serve its home link; the active one crashes
+   mid-stream, the standby takes over the service address and the
+   synchronised bindings, and the stream resumes.  Later the primary
+   recovers and service fails back.
+
+   Run with: dune exec examples/ha_failover.exe *)
+
+open Mmcast
+
+let group = Scenario.group
+
+let () =
+  let spec =
+    { Scenario.default_spec with
+      ha_failover = true;
+      approach = Approach.bidirectional_tunnel }
+  in
+  let scenario =
+    Scenario.build spec
+      ~links:
+        [ ("HOME", "2001:db8:1::/64");
+          ("CORE", "2001:db8:b::/64");
+          ("CAFE", "2001:db8:2::/64") ]
+      ~routers:
+        [ ("HA1", [ "HOME"; "CORE" ], [ "HOME" ]);
+          ("HA2", [ "HOME"; "CORE" ], [ "HOME" ]);
+          ("EDGE", [ "CORE"; "CAFE" ], [ "CAFE" ]) ]
+      ~hosts:[ ("TV", "CAFE"); ("VIEWER", "HOME") ]
+  in
+  let viewer = Scenario.host scenario "VIEWER" in
+  let ha1 = Scenario.router scenario "HA1" in
+  let ha2 = Scenario.router scenario "HA2" in
+  let home = Scenario.link scenario "HOME" in
+
+  Traffic.at scenario 5.0 (fun () -> Host_stack.subscribe viewer group);
+  ignore
+    (Traffic.cbr scenario (Scenario.host scenario "TV") ~group ~from_t:20.0 ~until:200.0
+       ~interval:0.1 ~bytes:800);
+  (* The viewer leaves home and watches from the cafe, via the
+     home-agent tunnel. *)
+  Traffic.at scenario 30.0 (fun () ->
+      Host_stack.move_to viewer (Scenario.link scenario "CAFE"));
+
+  let report label =
+    Printf.printf "%6.1f s  %-26s rx=%5d  active HA = %s\n"
+      (Engine.Time.seconds (Engine.Sim.now scenario.Scenario.sim))
+      label
+      (Host_stack.received_count viewer ~group)
+      (if Router_stack.is_active_home_agent ha1 home then "HA1"
+       else if Router_stack.is_active_home_agent ha2 home then "HA2"
+       else "none")
+  in
+  Traffic.at scenario 59.9 (fun () -> report "before crash");
+  Traffic.at scenario 60.0 (fun () ->
+      Router_stack.fail ha1;
+      print_endline "         *** HA1 crashes ***");
+  Traffic.at scenario 70.0 (fun () -> report "after takeover");
+  Traffic.at scenario 120.0 (fun () ->
+      Router_stack.recover ha1;
+      print_endline "         *** HA1 recovers ***");
+  Traffic.at scenario 135.0 (fun () -> report "after fail-back");
+  Scenario.run_until scenario 200.0;
+  report "end of stream";
+
+  let sent = Host_stack.data_sent (Scenario.host scenario "TV") in
+  let got = Host_stack.received_count viewer ~group in
+  Printf.printf
+    "\n%d of %d datagrams delivered across one crash and one fail-back\n\
+     (the gap is the heartbeat detection time, ~3.5 s at 1 Hz heartbeats).\n"
+    got sent

@@ -1,0 +1,1 @@
+lib/core/approach.ml: Format Printf

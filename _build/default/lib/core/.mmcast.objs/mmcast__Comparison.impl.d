@@ -1,0 +1,1 @@
+lib/core/comparison.ml: Approach Engine Float Format Host_stack List Load Metrics Net Network Pimdm Printf Router_stack Routing Scenario Topology

@@ -1,0 +1,1 @@
+lib/core/comparison.mli: Approach Format Scenario

@@ -1,0 +1,1 @@
+lib/core/experiments.ml: Addr Approach Array Bytes Char Comparison Engine Float Format Host_stack Int Ipv6 List Metrics Mld Option Packet Pimdm Printf Router_stack Scenario Traffic Tree

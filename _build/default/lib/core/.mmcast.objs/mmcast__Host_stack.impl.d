@@ -1,0 +1,1 @@
+lib/core/host_stack.ml: Addr Approach Engine Hashtbl Ids Ipv6 List Load Mipv6 Mld Net Network Packet Prefix Router_stack Topology

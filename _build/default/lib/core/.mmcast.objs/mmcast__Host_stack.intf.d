@@ -1,0 +1,1 @@
+lib/core/host_stack.mli: Addr Approach Engine Ids Ipv6 Load Mipv6 Mld Net Network Packet Router_stack

@@ -1,0 +1,1 @@
+lib/core/metrics.ml: Addr Engine Format Hashtbl Host_stack Ids Ipv6 List Mld_message Nd_message Net Network Packet Pim_message Topology

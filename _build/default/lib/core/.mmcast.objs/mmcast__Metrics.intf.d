@@ -1,0 +1,1 @@
+lib/core/metrics.mli: Addr Engine Format Host_stack Ids Ipv6 Net Network

@@ -1,0 +1,1 @@
+lib/core/router_stack.ml: Addr Engine Hashtbl Ids Int Ipv6 Lazy List Load Mipv6 Mld Nd_message Net Network Option Packet Pimdm Prefix Printf Routing Topology

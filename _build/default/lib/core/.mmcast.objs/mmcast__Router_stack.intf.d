@@ -1,0 +1,1 @@
+lib/core/router_stack.mli: Addr Engine Ids Ipv6 Load Mipv6 Mld Net Network Pimdm

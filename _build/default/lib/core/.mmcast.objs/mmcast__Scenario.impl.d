@@ -1,0 +1,1 @@
+lib/core/scenario.ml: Addr Approach Engine Host_stack Ids Ipv6 List Mipv6 Mld Net Network Pimdm Prefix Printf Router_stack String Topology

@@ -1,0 +1,1 @@
+lib/core/scenario.mli: Addr Approach Engine Host_stack Ids Ipv6 Mipv6 Mld Net Network Pimdm Router_stack

@@ -1,0 +1,1 @@
+lib/core/traffic.ml: Engine Host_stack Scenario

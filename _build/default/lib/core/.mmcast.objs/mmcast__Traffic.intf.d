@@ -1,0 +1,1 @@
+lib/core/traffic.mli: Engine Host_stack Ipv6 Scenario

@@ -1,0 +1,1 @@
+lib/core/tree.ml: Addr Format Ids Ipv6 List Net Network Pimdm Printf Router_stack Scenario String Topology

@@ -1,0 +1,42 @@
+type receive_path =
+  | Receive_local
+  | Receive_tunnel
+
+type send_path =
+  | Send_local
+  | Send_tunnel
+
+type t = { send : send_path; receive : receive_path }
+
+let local_membership = { send = Send_local; receive = Receive_local }
+let bidirectional_tunnel = { send = Send_tunnel; receive = Receive_tunnel }
+let tunnel_to_home_agent = { send = Send_tunnel; receive = Receive_local }
+let tunnel_from_home_agent = { send = Send_local; receive = Receive_tunnel }
+
+let all =
+  [ local_membership; bidirectional_tunnel; tunnel_to_home_agent; tunnel_from_home_agent ]
+
+let number t =
+  match (t.send, t.receive) with
+  | Send_local, Receive_local -> 1
+  | Send_tunnel, Receive_tunnel -> 2
+  | Send_tunnel, Receive_local -> 3
+  | Send_local, Receive_tunnel -> 4
+
+let name t =
+  match number t with
+  | 1 -> "local group membership"
+  | 2 -> "bi-directional tunnel"
+  | 3 -> "uni-directional tunnel MH->HA"
+  | _ -> "uni-directional tunnel HA->MH"
+
+let of_number = function
+  | 1 -> local_membership
+  | 2 -> bidirectional_tunnel
+  | 3 -> tunnel_to_home_agent
+  | 4 -> tunnel_from_home_agent
+  | n -> invalid_arg (Printf.sprintf "Approach.of_number: %d outside 1-4" n)
+
+let equal a b = a.send = b.send && a.receive = b.receive
+
+let pp ppf t = Format.fprintf ppf "approach %d (%s)" (number t) (name t)

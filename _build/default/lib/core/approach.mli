@@ -1,0 +1,36 @@
+(** The paper's four approaches to multicast for mobile hosts
+    (Table 1): the cartesian product of how a mobile host {e sends}
+    multicast datagrams and how it {e receives} them. *)
+
+type receive_path =
+  | Receive_local  (** join via the local multicast router on the foreign link *)
+  | Receive_tunnel  (** home agent subscribes on the host's behalf and tunnels *)
+
+type send_path =
+  | Send_local  (** send on the foreign link with the care-of address *)
+  | Send_tunnel  (** reverse-tunnel to the home agent, home address inside *)
+
+type t = { send : send_path; receive : receive_path }
+
+val local_membership : t
+(** Approach 1: local group membership on the foreign link. *)
+
+val bidirectional_tunnel : t
+(** Approach 2: bi-directional tunnel between home agent and host. *)
+
+val tunnel_to_home_agent : t
+(** Approach 3: uni-directional tunnel MH→HA; receive locally. *)
+
+val tunnel_from_home_agent : t
+(** Approach 4: uni-directional tunnel HA→MH; send locally. *)
+
+val all : t list
+(** In the paper's order 1-4. *)
+
+val number : t -> int
+val name : t -> string
+val of_number : int -> t
+(** @raise Invalid_argument outside 1-4. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,246 @@
+open Net
+
+type row = {
+  approach : Approach.t;
+  join_delay_s : float option;
+  leave_delay_s : float;
+  wasted_bytes_old_link : int;
+  tunnel_overhead_bytes : int;
+  signalling_bytes : int;
+  receiver_stretch : float;
+  receiver_lost : int;
+  duplicates : int;
+  ha_load : int;
+  mh_load : int;
+  routers_load : int;
+  sender_asserts : int;
+  sender_flood_bytes : int;
+  sender_sg_states : int;
+  sender_stretch : float;
+}
+
+let group = Scenario.group
+
+let at scenario time f = ignore (Engine.Sim.schedule_at scenario.Scenario.sim time f)
+
+let cbr scenario host ~from_t ~until ~interval ~bytes =
+  let sim = scenario.Scenario.sim in
+  let rec tick () =
+    if Engine.Time.compare (Engine.Sim.now sim) until < 0 then begin
+      Host_stack.send_data host ~group ~bytes;
+      ignore (Engine.Sim.schedule_after sim interval tick)
+    end
+  in
+  ignore (Engine.Sim.schedule_at sim from_t tick)
+
+(* Link crossings of a unicast packet from a node to another node:
+   shortest path to the closest attachment. *)
+let unicast_hops net ~from_node ~to_node =
+  let topo = Network.topology net in
+  let routing = Network.routing net in
+  Topology.links_of_node topo to_node
+  |> List.filter_map (fun link ->
+         match Routing.path_to_link routing ~from:from_node link with
+         | None -> None
+         | Some [] -> Some 1 (* same link: one crossing *)
+         | Some path ->
+           (* The destination link itself is not crossed when the
+              target node sits on the previous link too. *)
+           Some (List.length path - 1 + 1))
+  |> List.fold_left min max_int
+  |> fun h -> if h = max_int then None else Some h
+
+(* Link crossings of a multicast delivery from a sender node to a
+   destination link: the sender's own link plus the tree path. *)
+let multicast_hops net ~from_node ~to_link =
+  match Routing.path_to_link (Network.routing net) ~from:from_node to_link with
+  | None -> None
+  | Some [] -> Some 1
+  | Some path -> Some (List.length path)
+
+let receiver_stretch scenario approach =
+  let net = scenario.Scenario.net in
+  let s = Host_stack.node_id (Scenario.host scenario "S") in
+  let d = Router_stack.node_id (Scenario.router scenario "D") in
+  let l6 = Scenario.link scenario "L6" in
+  let l4 = Scenario.link scenario "L4" in
+  let optimal = multicast_hops net ~from_node:s ~to_link:l6 in
+  let actual =
+    match approach.Approach.receive with
+    | Approach.Receive_local -> optimal
+    | Approach.Receive_tunnel -> (
+      (* Tree to the home link, then tunnel from the home agent. *)
+      match (multicast_hops net ~from_node:s ~to_link:l4,
+             multicast_hops net ~from_node:d ~to_link:l6)
+      with
+      | Some a, Some b -> Some (a + b)
+      | _, _ -> None)
+  in
+  match (actual, optimal) with
+  | Some a, Some o when o > 0 -> float_of_int a /. float_of_int o
+  | _, _ -> nan
+
+let sender_stretch scenario approach =
+  (* After the sender moved to L3; reference receiver R3 on L4. *)
+  let net = scenario.Scenario.net in
+  let s = Host_stack.node_id (Scenario.host scenario "S") in
+  let a_router = Scenario.router scenario "A" in
+  let a = Router_stack.node_id a_router in
+  let l4 = Scenario.link scenario "L4" in
+  let optimal = multicast_hops net ~from_node:s ~to_link:l4 in
+  let actual =
+    match approach.Approach.send with
+    | Approach.Send_local -> optimal
+    | Approach.Send_tunnel -> (
+      match (unicast_hops net ~from_node:s ~to_node:a,
+             multicast_hops net ~from_node:a ~to_link:l4)
+      with
+      (* Tunnel to the home agent, re-emission on the home link, then
+         the tree (the home link crossing is inside multicast_hops'
+         sender-link term). *)
+      | Some t, Some m -> Some (t + 1 + m - 1 + 1)
+      | _, _ -> None)
+  in
+  match (actual, optimal) with
+  | Some a_, Some o when o > 0 -> float_of_int a_ /. float_of_int o
+  | _, _ -> nan
+
+let total_router_load scenario =
+  List.fold_left
+    (fun acc (_, r) -> acc + Load.total_work (Router_stack.load r))
+    0 scenario.Scenario.routers
+
+let run_receiver_phase spec =
+  let scenario = Scenario.paper_figure1 spec in
+  let metrics = Metrics.attach scenario.Scenario.net in
+  let r3 = Scenario.host scenario "R3" in
+  let s = Scenario.host scenario "S" in
+  let l4 = Scenario.link scenario "L4" in
+  let l6 = Scenario.link scenario "L6" in
+  let move_time = 60.0 in
+  let sent_at_move = ref 0 in
+  let rx_at_move = ref 0 in
+  let l4_bytes_at_move = ref 0 in
+  at scenario 5.0 (fun () -> Scenario.subscribe_receivers scenario group);
+  cbr scenario s ~from_t:30.0 ~until:330.0 ~interval:0.5 ~bytes:500;
+  at scenario move_time (fun () ->
+      sent_at_move := Host_stack.data_sent s;
+      rx_at_move := Host_stack.received_count r3 ~group;
+      l4_bytes_at_move := Metrics.data_bytes_on metrics l4;
+      Host_stack.move_to r3 l6);
+  Scenario.run_until scenario 360.0;
+  let join_delay_s = Metrics.join_delay r3 ~group in
+  let leave_delay_s =
+    match Metrics.last_data_tx metrics l4 ~group with
+    | None -> 0.0
+    | Some last -> Float.max 0.0 (last -. move_time)
+  in
+  let wasted = Metrics.data_bytes_on metrics l4 - !l4_bytes_at_move in
+  let lost =
+    Host_stack.data_sent s - !sent_at_move
+    - (Host_stack.received_count r3 ~group - !rx_at_move)
+  in
+  ( join_delay_s,
+    leave_delay_s,
+    wasted,
+    Metrics.bytes metrics Metrics.Tunnel_overhead,
+    Metrics.signalling_bytes metrics,
+    receiver_stretch scenario spec.Scenario.approach,
+    lost,
+    Host_stack.duplicate_count r3 ~group,
+    Load.total_work (Router_stack.load (Scenario.router scenario "D")),
+    Load.total_work (Host_stack.load r3),
+    total_router_load scenario )
+
+let run_sender_phase spec =
+  let scenario = Scenario.paper_figure1 spec in
+  let metrics = Metrics.attach scenario.Scenario.net in
+  let s = Scenario.host scenario "S" in
+  let l3 = Scenario.link scenario "L3" in
+  let l5 = Scenario.link scenario "L5" in
+  let move_time = 120.0 in
+  let asserts_at_move = ref 0 in
+  let asserts_after_handoff = ref 0 in
+  let l5_bytes_at_move = ref 0 in
+  at scenario 5.0 (fun () -> Scenario.subscribe_receivers scenario group);
+  cbr scenario s ~from_t:30.0 ~until:230.0 ~interval:0.5 ~bytes:500;
+  at scenario move_time (fun () ->
+      asserts_at_move := (Metrics.control_counts metrics).Metrics.asserts;
+      l5_bytes_at_move := Metrics.data_bytes_on metrics l5;
+      Host_stack.move_to s l3);
+  (* Only asserts within the handoff window count as movement-induced;
+     dense mode re-contests forwarder elections periodically anyway. *)
+  at scenario (move_time +. 10.0) (fun () ->
+      asserts_after_handoff :=
+        (Metrics.control_counts metrics).Metrics.asserts - !asserts_at_move);
+  Scenario.run_until scenario 260.0;
+  let asserts = !asserts_after_handoff in
+  let flood = Metrics.data_bytes_on metrics l5 - !l5_bytes_at_move in
+  let sg_states =
+    List.fold_left
+      (fun acc (_, r) -> acc + List.length (Pimdm.Pim_router.entries (Router_stack.pim r)))
+      0 scenario.Scenario.routers
+  in
+  (asserts, flood, sg_states, sender_stretch scenario spec.Scenario.approach)
+
+let run ?(spec = Scenario.default_spec) approach =
+  let spec = { spec with Scenario.approach } in
+  let ( join_delay_s,
+        leave_delay_s,
+        wasted_bytes_old_link,
+        tunnel_overhead_bytes,
+        signalling_bytes,
+        receiver_stretch,
+        receiver_lost,
+        duplicates,
+        ha_load,
+        mh_load,
+        routers_load ) =
+    run_receiver_phase spec
+  in
+  let sender_asserts, sender_flood_bytes, sender_sg_states, sender_stretch =
+    run_sender_phase spec
+  in
+  { approach;
+    join_delay_s;
+    leave_delay_s;
+    wasted_bytes_old_link;
+    tunnel_overhead_bytes;
+    signalling_bytes;
+    receiver_stretch;
+    receiver_lost;
+    duplicates;
+    ha_load;
+    mh_load;
+    routers_load;
+    sender_asserts;
+    sender_flood_bytes;
+    sender_sg_states;
+    sender_stretch }
+
+let run_all ?spec () = List.map (fun a -> run ?spec a) Approach.all
+
+let pp_table ppf rows =
+  Format.fprintf ppf
+    "%-34s %10s %10s %10s %10s %9s %7s %5s %4s@." "approach (Table 1)" "join[s]"
+    "leave[s]" "waste[B]" "tunnel[B]" "signal[B]" "stretch" "lost" "dup";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%d. %-31s %10s %10.1f %10d %10d %9d %7.2f %5d %4d@."
+        (Approach.number r.approach)
+        (Approach.name r.approach)
+        (match r.join_delay_s with
+         | None -> "-"
+         | Some d -> Printf.sprintf "%.2f" d)
+        r.leave_delay_s r.wasted_bytes_old_link r.tunnel_overhead_bytes r.signalling_bytes
+        r.receiver_stretch r.receiver_lost r.duplicates)
+    rows;
+  Format.fprintf ppf "@.%-34s %8s %8s %8s %10s %10s %10s %9s@." "" "HA load" "MH load"
+    "rtr load" "asserts" "flood[B]" "SG states" "s-stretch";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%d. %-31s %8d %8d %8d %10d %10d %10d %9.2f@."
+        (Approach.number r.approach)
+        (Approach.name r.approach) r.ha_load r.mh_load r.routers_load r.sender_asserts
+        r.sender_flood_bytes r.sender_sg_states r.sender_stretch)
+    rows

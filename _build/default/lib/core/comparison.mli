@@ -1,0 +1,50 @@
+(** Quantitative version of the paper's comparison (Table 1 +
+    Section 4.3).
+
+    Two standard scenarios are run on the Figure 1 network for each of
+    the four approaches:
+
+    {ul
+    {- {b mobile receiver}: S sends CBR from Link 1; R3 moves from
+       Link 4 to Link 6 mid-stream.  Measured: join delay, leave delay
+       (stale traffic on Link 4), wasted bytes, tunnel overhead,
+       signalling cost, duplicates, losses, and system load.}
+    {- {b mobile sender}: S moves from Link 1 to Link 3 mid-stream.
+       Measured: Assert messages, re-flood traffic on the empty Link 5,
+       number of (S,G) states held across routers at the end, and
+       tunnel overhead.}}
+
+    Routing stretch is computed analytically from shortest paths, in
+    link crossings (the paper's "datagrams are crossing some links and
+    routers twice"). *)
+
+type row = {
+  approach : Approach.t;
+  (* mobile receiver scenario *)
+  join_delay_s : float option;  (** R3, after its handoff; None = never re-received *)
+  leave_delay_s : float;  (** continued data on L4 after R3 left *)
+  wasted_bytes_old_link : int;  (** data bytes on L4 after the move *)
+  tunnel_overhead_bytes : int;
+  signalling_bytes : int;
+  receiver_stretch : float;  (** path length ratio for R3 on L6 *)
+  receiver_lost : int;  (** datagrams sent after the move that R3 missed *)
+  duplicates : int;
+  ha_load : int;  (** router D's total work (receiver scenario) *)
+  mh_load : int;  (** R3's total work *)
+  routers_load : int;  (** all five routers together *)
+  (* mobile sender scenario *)
+  sender_asserts : int;
+  sender_flood_bytes : int;  (** data bytes hitting the empty Link 5 after the sender moved *)
+  sender_sg_states : int;  (** (S,G) entries across all routers at the end *)
+  sender_stretch : float;  (** path ratio from moved S to R3 *)
+}
+
+val run : ?spec:Scenario.spec -> Approach.t -> row
+(** Runs both scenarios for one approach.  [spec]'s approach field is
+    overridden. *)
+
+val run_all : ?spec:Scenario.spec -> unit -> row list
+(** All four approaches, paper order. *)
+
+val pp_table : Format.formatter -> row list -> unit
+(** The quantitative Table 1. *)

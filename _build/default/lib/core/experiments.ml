@@ -1,0 +1,313 @@
+open Ipv6
+
+type fig_result = {
+  description : string;
+  tree : string;
+  links : string list;
+  tunnels : string list;
+  notes : (string * string) list;
+}
+
+let group = Scenario.group
+
+let snapshot ?(description = "") scenario ~source ~notes =
+  { description;
+    tree = Tree.render scenario ~source ~group;
+    links = Tree.links_carrying scenario ~source ~group;
+    tunnels = Tree.tunnels_carrying scenario ~source ~group;
+    notes }
+
+let fig1 ?(spec = Scenario.default_spec) () =
+  let scenario = Scenario.paper_figure1 spec in
+  let s = Scenario.host scenario "S" in
+  Traffic.at scenario 5.0 (fun () -> Scenario.subscribe_receivers scenario group);
+  ignore (Traffic.cbr scenario s ~group ~from_t:30.0 ~until:100.0 ~interval:0.5 ~bytes:500);
+  Scenario.run_until scenario 100.0;
+  snapshot scenario
+    ~description:
+      "Initial distribution tree for (Sender S on Link 1, Group G): flood-and-prune \
+       leaves exactly the member links forwarding"
+    ~source:(Host_stack.home_address s)
+    ~notes:
+      [ ("receivers", "R1 on L1, R2 on L2, R3 on L4");
+        ("expected links (paper)", "L1 L2 L3 L4") ]
+
+let fig2 ?(spec = Scenario.default_spec) () =
+  let scenario = Scenario.paper_figure1 spec in
+  let metrics = Metrics.attach scenario.Scenario.net in
+  let s = Scenario.host scenario "S" in
+  let r3 = Scenario.host scenario "R3" in
+  let l4 = Scenario.link scenario "L4" in
+  let move_time = 60.0 in
+  let l4_at_move = ref 0 in
+  Traffic.at scenario 5.0 (fun () -> Scenario.subscribe_receivers scenario group);
+  ignore (Traffic.cbr scenario s ~group ~from_t:30.0 ~until:340.0 ~interval:0.5 ~bytes:500);
+  Traffic.at scenario move_time (fun () ->
+      l4_at_move := Metrics.data_bytes_on metrics l4;
+      Host_stack.move_to r3 (Scenario.link scenario "L6"));
+  Scenario.run_until scenario 360.0;
+  let join =
+    match Metrics.join_delay r3 ~group with
+    | None -> "never re-received"
+    | Some d -> Printf.sprintf "%.2f s" d
+  in
+  let leave =
+    match Metrics.last_data_tx metrics l4 ~group with
+    | None -> 0.0
+    | Some last -> Float.max 0.0 (last -. move_time)
+  in
+  snapshot scenario
+    ~description:
+      "Mobile receiver, local group membership: R3 moved from Link 4 to Link 6; the \
+       tree grew a branch to L6 while MLD state let L4 carry useless traffic"
+    ~source:(Host_stack.home_address s)
+    ~notes:
+      [ ("join delay", join);
+        ("leave delay", Printf.sprintf "%.1f s (bound TMLI = %.0f s)" leave
+           (Engine.Time.seconds (Mld.Mld_config.multicast_listener_interval spec.Scenario.mld)));
+        ("wasted bytes on L4", string_of_int (Metrics.data_bytes_on metrics l4 - !l4_at_move));
+        ("unsolicited reports",
+         string_of_int spec.Scenario.mld.Mld.Mld_config.unsolicited_report_count) ]
+
+let fig3 ?(spec = Scenario.default_spec) () =
+  let spec = { spec with Scenario.approach = Approach.bidirectional_tunnel } in
+  let scenario = Scenario.paper_figure1 spec in
+  let metrics = Metrics.attach scenario.Scenario.net in
+  let s = Scenario.host scenario "S" in
+  let r3 = Scenario.host scenario "R3" in
+  Traffic.at scenario 5.0 (fun () -> Scenario.subscribe_receivers scenario group);
+  ignore (Traffic.cbr scenario s ~group ~from_t:30.0 ~until:120.0 ~interval:0.5 ~bytes:500);
+  Traffic.at scenario 60.0 (fun () ->
+      Host_stack.move_to r3 (Scenario.link scenario "L1"));
+  Scenario.run_until scenario 120.0;
+  let join =
+    match Metrics.join_delay r3 ~group with
+    | None -> "never re-received"
+    | Some d -> Printf.sprintf "%.2f s" d
+  in
+  snapshot scenario
+    ~description:
+      "Mobile receiver via home agent: R3 moved from Link 4 to Link 1; the tree is \
+       unchanged and Router D tunnels the group's traffic to R3's care-of address"
+    ~source:(Host_stack.home_address s)
+    ~notes:
+      [ ("join delay", join);
+        ("tunnel overhead", Printf.sprintf "%d B" (Metrics.bytes metrics Metrics.Tunnel_overhead));
+        ("tunnelled data", Printf.sprintf "%d B" (Metrics.bytes metrics Metrics.Data_tunnelled)) ]
+
+let fig4 ?(spec = Scenario.default_spec) () =
+  let spec = { spec with Scenario.approach = Approach.tunnel_to_home_agent } in
+  let scenario = Scenario.paper_figure1 spec in
+  let metrics = Metrics.attach scenario.Scenario.net in
+  let s = Scenario.host scenario "S" in
+  Traffic.at scenario 5.0 (fun () -> Scenario.subscribe_receivers scenario group);
+  ignore (Traffic.cbr scenario s ~group ~from_t:30.0 ~until:200.0 ~interval:0.5 ~bytes:500);
+  Traffic.at scenario 100.0 (fun () ->
+      Host_stack.move_to s (Scenario.link scenario "L6"));
+  Scenario.run_until scenario 200.0;
+  let coa_states =
+    List.concat_map
+      (fun (_, r) -> Pimdm.Pim_router.entries (Router_stack.pim r))
+      scenario.Scenario.routers
+    |> List.filter (fun (src, _) ->
+           Addr.equal src (Host_stack.current_source_address s))
+    |> List.length
+  in
+  snapshot scenario
+    ~description:
+      "Mobile sender via reverse tunnel: S moved from Link 1 to Link 6; datagrams are \
+       tunnelled to home agent A and distributed over the unchanged home tree"
+    ~source:(Host_stack.home_address s)
+    ~notes:
+      [ ("tunnel overhead", Printf.sprintf "%d B" (Metrics.bytes metrics Metrics.Tunnel_overhead));
+        ("(CoA,G) states created", string_of_int coa_states);
+        ("asserts",
+         string_of_int (Metrics.control_counts metrics).Metrics.asserts) ]
+
+let fig5 () =
+  let mh_coa = Addr.of_string "2001:db8:6::10" in
+  let mh_home = Addr.of_string "2001:db8:4::10" in
+  let ha = Addr.of_string "2001:db8:4::1" in
+  let groups = [ Addr.of_string "ff0e::1:1"; Addr.of_string "ff0e::2:8" ] in
+  let sub = Packet.Multicast_group_list groups in
+  let bu =
+    Packet.make ~src:mh_coa ~dst:ha
+      ~dest_options:
+        [ Packet.Binding_update
+            { sequence = 1;
+              lifetime_s = 256;
+              home_registration = true;
+              care_of = mh_coa;
+              sub_options = [ sub ] };
+          Packet.Home_address mh_home ]
+      Packet.Empty
+  in
+  let sub_wire = Ipv6.Codec.encode_sub_option sub in
+  Format.asprintf
+    "Multicast Group List Sub-Option (paper, Figure 5)@.\
+     sub-option type = %d, sub-option len = 16*N = %d (N = %d groups)@.@.\
+     bit layout (type | len | group addresses):@.%a@.@.\
+     hex dump:@.%a@.@.\
+     full Binding Update packet carrying the sub-option (%d bytes on the wire):@.%a@."
+    Ipv6.Codec.sub_option_type_multicast_group_list
+    (Char.code (Bytes.get sub_wire 1))
+    (List.length groups) Ipv6.Hexdump.pp_bits sub_wire Ipv6.Hexdump.pp sub_wire
+    (Packet.size bu) Ipv6.Hexdump.pp (Ipv6.Codec.encode bu)
+
+let table1 ?spec () = Comparison.run_all ?spec ()
+
+(* ---- section 4.3.2: several mobile members on one foreign link ---- *)
+
+type convergence_row = {
+  conv_approach : Approach.t;
+  foreign_link_data_bytes : int;
+  foreign_link_packets : int;
+  per_receiver_rx : int list;
+}
+
+let tunnel_convergence ?(spec = Scenario.default_spec) () =
+  let run approach =
+    let spec = { spec with Scenario.approach } in
+    let scenario = Scenario.paper_figure1 spec in
+    let metrics = Metrics.attach scenario.Scenario.net in
+    let s = Scenario.host scenario "S" in
+    let l6 = Scenario.link scenario "L6" in
+    Traffic.at scenario 5.0 (fun () -> Scenario.subscribe_receivers scenario group);
+    ignore (Traffic.cbr scenario s ~group ~from_t:30.0 ~until:200.0 ~interval:0.5 ~bytes:500);
+    (* Two mobile members converge on the same foreign link. *)
+    Traffic.at scenario 50.0 (fun () ->
+        Host_stack.move_to (Scenario.host scenario "R2") l6);
+    Traffic.at scenario 52.0 (fun () ->
+        Host_stack.move_to (Scenario.host scenario "R3") l6);
+    let data_at_converge = ref 0 in
+    let pkts_at_converge = ref 0 in
+    Traffic.at scenario 55.0 (fun () ->
+        data_at_converge := Metrics.data_bytes_on metrics l6;
+        pkts_at_converge :=
+          Metrics.packets ~link:l6 metrics Metrics.Data_native
+          + Metrics.packets ~link:l6 metrics Metrics.Data_tunnelled);
+    Scenario.run_until scenario 200.0;
+    { conv_approach = approach;
+      foreign_link_data_bytes = Metrics.data_bytes_on metrics l6 - !data_at_converge;
+      foreign_link_packets =
+        Metrics.packets ~link:l6 metrics Metrics.Data_native
+        + Metrics.packets ~link:l6 metrics Metrics.Data_tunnelled
+        - !pkts_at_converge;
+      per_receiver_rx =
+        List.sort Int.compare
+          [ Host_stack.received_count (Scenario.host scenario "R2") ~group;
+            Host_stack.received_count (Scenario.host scenario "R3") ~group ] }
+  in
+  [ run Approach.local_membership; run Approach.bidirectional_tunnel ]
+
+(* ---- section 4.4: timer sweep ---- *)
+
+type sweep_row = {
+  tquery_s : float;
+  trials : int;
+  join_mean_s : float;
+  join_min_s : float;
+  join_max_s : float;
+  leave_mean_s : float;
+  wasted_mean_bytes : float;
+  mld_bytes_per_s : float;
+}
+
+let timer_sweep ?(trials = 8) ?(unsolicited = false) ?(tquery_values = [ 125.0; 60.0; 30.0; 10.0 ])
+    () =
+  let run_trial ~tquery ~trial =
+    let mld =
+      { (Mld.Mld_config.with_query_interval tquery Mld.Mld_config.default) with
+        unsolicited_report_count = (if unsolicited then 2 else 0) }
+    in
+    let spec = { Scenario.default_spec with Scenario.mld; seed = 1000 + trial } in
+    let scenario = Scenario.paper_figure1 spec in
+    let metrics = Metrics.attach scenario.Scenario.net in
+    let s = Scenario.host scenario "S" in
+    let r3 = Scenario.host scenario "R3" in
+    let l4 = Scenario.link scenario "L4" in
+    (* Stratify the handoff phase across the query cycle. *)
+    let move_time =
+      30.0 +. tquery +. (float_of_int trial /. float_of_int trials *. tquery)
+    in
+    let horizon = move_time +. (2.2 *. tquery) +. 60.0 in
+    let l4_at_move = ref 0 in
+    Traffic.at scenario 5.0 (fun () -> Scenario.subscribe_receivers scenario group);
+    ignore
+      (Traffic.cbr scenario s ~group ~from_t:20.0 ~until:horizon ~interval:0.5 ~bytes:500);
+    Traffic.at scenario move_time (fun () ->
+        l4_at_move := Metrics.data_bytes_on metrics l4;
+        Host_stack.move_to r3 (Scenario.link scenario "L6"));
+    Scenario.run_until scenario (horizon +. 10.0);
+    let join = Metrics.join_delay r3 ~group in
+    let leave =
+      match Metrics.last_data_tx metrics l4 ~group with
+      | None -> 0.0
+      | Some last -> Float.max 0.0 (last -. move_time)
+    in
+    let wasted = Metrics.data_bytes_on metrics l4 - !l4_at_move in
+    let mld_rate =
+      float_of_int (Metrics.bytes metrics Metrics.Mld_signalling) /. (horizon +. 10.0)
+    in
+    (join, leave, wasted, mld_rate)
+  in
+  List.map
+    (fun tquery ->
+      let results = List.init trials (fun trial -> run_trial ~tquery ~trial) in
+      let joins =
+        List.filter_map (fun (j, _, _, _) -> Option.map Engine.Time.seconds j) results
+      in
+      let mean xs = if xs = [] then nan else List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs) in
+      let leave_mean = mean (List.map (fun (_, l, _, _) -> l) results) in
+      let wasted_mean = mean (List.map (fun (_, _, w, _) -> float_of_int w) results) in
+      let mld_rate = mean (List.map (fun (_, _, _, r) -> r) results) in
+      { tquery_s = tquery;
+        trials;
+        join_mean_s = mean joins;
+        join_min_s = (if joins = [] then nan else List.fold_left Float.min infinity joins);
+        join_max_s = (if joins = [] then nan else List.fold_left Float.max neg_infinity joins);
+        leave_mean_s = leave_mean;
+        wasted_mean_bytes = wasted_mean;
+        mld_bytes_per_s = mld_rate })
+    tquery_values
+
+(* ---- section 4.3.1: sender mobility overhead ---- *)
+
+type overhead_row = {
+  moves : int;
+  asserts : int;
+  flood_bytes_l5 : int;
+  sg_states : int;
+  total_data_bytes : int;
+}
+
+let sender_overhead ?(spec = Scenario.default_spec) ?(move_counts = [ 0; 1; 2; 4; 8 ]) () =
+  let run_one moves =
+    let scenario = Scenario.paper_figure1 spec in
+    let metrics = Metrics.attach scenario.Scenario.net in
+    let s = Scenario.host scenario "S" in
+    let horizon = 330.0 in
+    Traffic.at scenario 5.0 (fun () -> Scenario.subscribe_receivers scenario group);
+    ignore
+      (Traffic.cbr scenario s ~group ~from_t:30.0 ~until:horizon ~interval:0.5 ~bytes:500);
+    (* Spread the handoffs over the run, cycling over foreign links. *)
+    let destinations = [| "L2"; "L6"; "L3"; "L1" |] in
+    for k = 1 to moves do
+      let when_ = 30.0 +. (float_of_int k *. (horizon -. 60.0) /. float_of_int (moves + 1)) in
+      let dst = destinations.((k - 1) mod Array.length destinations) in
+      Traffic.at scenario when_ (fun () -> Host_stack.move_to s (Scenario.link scenario dst))
+    done;
+    Scenario.run_until scenario (horizon +. 10.0);
+    let sg_states =
+      List.fold_left
+        (fun acc (_, r) -> acc + List.length (Pimdm.Pim_router.entries (Router_stack.pim r)))
+        0 scenario.Scenario.routers
+    in
+    { moves;
+      asserts = (Metrics.control_counts metrics).Metrics.asserts;
+      flood_bytes_l5 = Metrics.data_bytes_on metrics (Scenario.link scenario "L5");
+      sg_states;
+      total_data_bytes =
+        Metrics.bytes metrics Metrics.Data_native + Metrics.bytes metrics Metrics.Data_tunnelled }
+  in
+  List.map run_one move_counts

@@ -1,0 +1,89 @@
+(** One runner per table/figure of the paper; the benchmark harness and
+    the examples drive these.  Each runner builds a fresh Figure 1
+    network, plays the paper's scenario, and returns both structured
+    numbers (for tests) and printable output (for the harness). *)
+
+type fig_result = {
+  description : string;
+  tree : string;  (** rendered distribution tree *)
+  links : string list;  (** links carrying the group's traffic *)
+  tunnels : string list;  (** mobile hosts served through tunnels *)
+  notes : (string * string) list;  (** measured quantities, in display order *)
+}
+
+val fig1 : ?spec:Scenario.spec -> unit -> fig_result
+(** Initial source-rooted distribution tree (Figure 1). *)
+
+val fig2 : ?spec:Scenario.spec -> unit -> fig_result
+(** Mobile receiver, local group membership: R3 moves L4→L6
+    (Figure 2).  Notes include join delay, leave delay and the wasted
+    bandwidth on the abandoned link. *)
+
+val fig3 : ?spec:Scenario.spec -> unit -> fig_result
+(** Mobile receiver via home-agent tunnel: R3 moves L4→L1
+    (Figure 3). *)
+
+val fig4 : ?spec:Scenario.spec -> unit -> fig_result
+(** Mobile sender via reverse tunnel: S moves L1→L6 (Figure 4). *)
+
+val fig5 : unit -> string
+(** Wire dump of a Binding Update carrying the Multicast Group List
+    Sub-Option, plus the sub-option alone in the bit layout of the
+    paper's Figure 5. *)
+
+val table1 : ?spec:Scenario.spec -> unit -> Comparison.row list
+
+(** {1 Section 4.3.2: tunnel delivery defeats multicast on shared
+    foreign links} *)
+
+type convergence_row = {
+  conv_approach : Approach.t;
+  foreign_link_data_bytes : int;
+      (** application bytes crossing the shared foreign link *)
+  foreign_link_packets : int;
+  per_receiver_rx : int list;  (** sorted delivery counts *)
+}
+
+val tunnel_convergence : ?spec:Scenario.spec -> unit -> convergence_row list
+(** R2 and R3 both roam to Link 6 while S streams.  Under local group
+    membership one multicast copy per datagram crosses L6; under the
+    bi-directional tunnel each mobile member gets its own unicast copy
+    ("the same multicast datagrams will be sent via unicast to each
+    group member on the foreign link"). *)
+
+(** {1 Section 4.4: MLD timer optimization} *)
+
+type sweep_row = {
+  tquery_s : float;
+  trials : int;
+  join_mean_s : float;
+  join_min_s : float;
+  join_max_s : float;
+  leave_mean_s : float;
+  wasted_mean_bytes : float;
+  mld_bytes_per_s : float;  (** Query/Report signalling cost *)
+}
+
+val timer_sweep :
+  ?trials:int -> ?unsolicited:bool -> ?tquery_values:float list -> unit -> sweep_row list
+(** For each TQuery value (default [125; 60; 30; 10] s, the paper's
+    tuning direction), run several mobile-receiver handoffs with the
+    handoff phase stratified across the query cycle and report
+    join/leave delays and MLD signalling cost.  [unsolicited] toggles
+    the paper's recommended unsolicited Reports (default off: the
+    pessimistic wait-for-Query behaviour the paper analyses). *)
+
+(** {1 Section 4.3.1: mobile sender overheads} *)
+
+type overhead_row = {
+  moves : int;
+  asserts : int;
+  flood_bytes_l5 : int;  (** re-flood traffic hitting the always-empty Link 5 *)
+  sg_states : int;  (** (S,G) entries held across routers at the end *)
+  total_data_bytes : int;  (** network-wide data traffic for the same offered load *)
+}
+
+val sender_overhead :
+  ?spec:Scenario.spec -> ?move_counts:int list -> unit -> overhead_row list
+(** Sweep the sender's mobility rate (number of handoffs in a fixed
+    300 s run) and measure re-flood and assert overheads. *)

@@ -1,0 +1,19 @@
+(** Per-node processing-load counters: the "system load" criterion of
+    the paper's Section 4.3 (packet handling, tunnel encapsulation /
+    decapsulation work, binding-cache activity). *)
+
+type t = {
+  mutable packets_processed : int;
+  mutable encapsulations : int;
+  mutable decapsulations : int;
+  mutable control_messages : int;  (** MLD + PIM + Mobile IPv6 signalling handled *)
+  mutable intercepted : int;  (** packets a home agent proxied for a mobile host *)
+}
+
+val create : unit -> t
+val reset : t -> unit
+val total_work : t -> int
+(** Weighted sum used for coarse comparisons: every counter counts 1,
+    encap/decap count 2 (header manipulation + forwarding). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,73 @@
+(** Traffic accounting for the paper's comparison criteria
+    (Section 4.3): bandwidth by traffic class and link, tunnel
+    overhead, signalling cost, join and leave delays.
+
+    Attach an instance to a network before running; every transmitted
+    packet is classified once, on the link where it is sent. *)
+
+open Ipv6
+open Net
+
+(** Traffic classes. *)
+type cls =
+  | Data_native  (** multicast application data, untunnelled *)
+  | Data_tunnelled  (** application data inside a Mobile IP tunnel *)
+  | Tunnel_overhead  (** the extra encapsulation headers themselves *)
+  | Mld_signalling
+  | Pim_signalling
+  | Mipv6_signalling  (** Binding Updates / Acknowledgements / Requests *)
+  | Nd_signalling  (** Router Advertisements and home-agent heartbeats *)
+
+val all_classes : cls list
+val class_name : cls -> string
+
+type t
+
+val attach : Network.t -> t
+
+val bytes : ?link:Ids.Link_id.t -> t -> cls -> int
+val packets : ?link:Ids.Link_id.t -> t -> cls -> int
+(** Without [link], totals across all links. *)
+
+val signalling_bytes : t -> int
+(** MLD + PIM + Mobile IPv6 + ND classes together. *)
+
+val data_bytes_on : t -> Ids.Link_id.t -> int
+(** Native plus tunnelled application bytes on a link. *)
+
+val last_data_tx : t -> Ids.Link_id.t -> group:Addr.t -> Engine.Time.t option
+(** When the most recent application datagram for the group was put on
+    the link — the observable that yields the paper's leave delay
+    (traffic still flowing after the receiver left). *)
+
+(** Control-message census, by message kind. *)
+type control_counts = {
+  hellos : int;
+  joins : int;  (** Join/Prune messages containing joins *)
+  prunes : int;  (** Join/Prune messages containing prunes *)
+  grafts : int;
+  graft_acks : int;
+  asserts : int;
+  state_refreshes : int;
+  queries : int;
+  reports : int;
+  dones : int;
+  binding_updates : int;
+  binding_acks : int;
+  router_advertisements : int;
+  heartbeats : int;
+}
+
+val control_counts : t -> control_counts
+
+val reset : t -> unit
+(** Zero the byte/packet counters (keeps observing). *)
+
+val join_delay : Host_stack.t -> group:Addr.t -> Engine.Time.t option
+(** [first reception after the last attach - attach time]. *)
+
+val pp_summary : Format.formatter -> t -> unit
+(** Per-class totals. *)
+
+val pp_links : t -> Network.t -> Format.formatter -> unit -> unit
+(** Per-link per-class byte table. *)

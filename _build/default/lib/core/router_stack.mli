@@ -1,0 +1,103 @@
+(** A complete router node: PIM-DM on every attached link, an MLD
+    router instance per link, unicast forwarding, and (optionally)
+    Mobile IPv6 home-agent service for a set of links.
+
+    Home agents follow the paper's Section 4.3.2.  The binding cache is
+    fed by Binding Updates; while a binding is live the router defends
+    the mobile node's home address on its home link (proxy) and tunnels
+    intercepted traffic to the care-of address.  Multicast delivery to
+    tunnelled receivers is modelled as one {e virtual PIM interface}
+    per provisioned mobile host; group membership on that interface
+    comes either from the Multicast Group List Sub-Option of Binding
+    Updates ({!Ha_bu_groups}, the paper's proposal) or from MLD Reports
+    the mobile host sends through the tunnel ({!Ha_pim_tunnel_mld}, the
+    paper's first solution, with Queries flowing back through the
+    tunnel). *)
+
+open Ipv6
+open Net
+
+type ha_mode =
+  | Ha_bu_groups
+  | Ha_pim_tunnel_mld
+
+type config = {
+  mld : Mld.Mld_config.t;
+  pim : Pimdm.Pim_config.t;
+  ha_mode : ha_mode;
+  ha_links : Ids.Link_id.t list;  (** links this router serves as home agent *)
+  ra_interval : Engine.Time.t option;
+      (** When set, originate Router Advertisements on every attached
+          link at roughly this interval (±10% jitter), enabling
+          advertisement-based movement detection at hosts.  [None]
+          (default) disables them. *)
+  ha_failover : bool;
+      (** Home-agent redundancy (the paper's cited further work):
+          several routers may serve the same home link; they elect the
+          active agent by heartbeat (lowest node id wins), the active
+          one claims the link's {!ha_service_address} and answers
+          Binding Updates, and bindings are synchronised to the
+          standbys so a takeover is seamless. *)
+  ha_heartbeat_interval : Engine.Time.t;  (** default 1 s *)
+}
+
+val default_config : config
+
+val ha_service_address : Net.Topology.t -> Ids.Link_id.t -> Addr.t
+(** The well-known home-agents service address of a link (interface
+    identifier [0xfffe]); mobile nodes register there when redundancy
+    is in use, so a failover is transparent to them. *)
+
+type t
+
+val create : Network.t -> Ids.Node_id.t -> config -> t
+(** The node must already be attached to its links. *)
+
+val start : t -> unit
+(** Claim addresses, install the receive handler, start MLD and PIM. *)
+
+val stop : t -> unit
+
+val node_id : t -> Ids.Node_id.t
+val name : t -> string
+val load : t -> Load.t
+val pim : t -> Pimdm.Pim_router.t
+val mld_on : t -> Ids.Link_id.t -> Mld.Mld_router.t option
+
+val address_on : t -> Ids.Link_id.t -> Addr.t
+(** Global address on an attached link. *)
+
+val provision_mobile_host : t -> home:Addr.t -> unit
+(** Declare a mobile host this router may serve (assigns the virtual
+    tunnel interface).  Must be called before traffic flows; idempotent.
+    @raise Invalid_argument if the home address is not on a served
+    link. *)
+
+val bindings : t -> Mipv6.Binding_cache.entry list
+
+val binding_for : t -> Addr.t -> Mipv6.Binding_cache.entry option
+
+val tunnel_iface_of : t -> Addr.t -> int option
+(** Virtual PIM interface number for a provisioned home address. *)
+
+val tunnel_home_of : t -> int -> Addr.t option
+(** Inverse of {!tunnel_iface_of}. *)
+
+val is_virtual_iface : int -> bool
+(** Whether a PIM interface number denotes a home-agent tunnel. *)
+
+val is_active_home_agent : t -> Ids.Link_id.t -> bool
+(** Whether this router currently provides the home-agent service for
+    the link (always true for served links without {!config.ha_failover}). *)
+
+val fail : t -> unit
+(** Crash injection: the router stops all protocol activity and drops
+    every received packet.  Its binding cache (RAM) is lost.  Address
+    claims are left dangling, black-holing traffic sent to it — as a
+    real dead box would. *)
+
+val recover : t -> unit
+(** Restart after {!fail} with empty protocol state; peers re-sync
+    bindings via the failover protocol when enabled. *)
+
+val is_failed : t -> bool

@@ -1,0 +1,25 @@
+type handle = { mutable stopped : bool }
+
+let make_source scenario host ~group ~from_t ~until ~next_interval ~bytes =
+  let sim = scenario.Scenario.sim in
+  let handle = { stopped = false } in
+  let rec tick () =
+    if (not handle.stopped) && Engine.Time.compare (Engine.Sim.now sim) until < 0 then begin
+      Host_stack.send_data host ~group ~bytes;
+      ignore (Engine.Sim.schedule_after sim (next_interval ()) tick)
+    end
+  in
+  ignore (Engine.Sim.schedule_at sim from_t tick);
+  handle
+
+let cbr scenario host ~group ~from_t ~until ~interval ~bytes =
+  make_source scenario host ~group ~from_t ~until ~next_interval:(fun () -> interval) ~bytes
+
+let poisson scenario host ~group ~rng ~from_t ~until ~mean_interval ~bytes =
+  make_source scenario host ~group ~from_t ~until
+    ~next_interval:(fun () -> Engine.Rng.exponential rng (Engine.Time.seconds mean_interval))
+    ~bytes
+
+let stop handle = handle.stopped <- true
+
+let at scenario time f = ignore (Engine.Sim.schedule_at scenario.Scenario.sim time f)

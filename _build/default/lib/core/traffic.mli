@@ -1,0 +1,33 @@
+(** Traffic generation helpers shared by experiments, benches and
+    examples. *)
+
+type handle
+
+val cbr :
+  Scenario.t ->
+  Host_stack.t ->
+  group:Ipv6.Addr.t ->
+  from_t:Engine.Time.t ->
+  until:Engine.Time.t ->
+  interval:Engine.Time.t ->
+  bytes:int ->
+  handle
+(** Constant-bit-rate multicast source: one [bytes]-byte datagram every
+    [interval] from [from_t] (exclusive at [until]). *)
+
+val poisson :
+  Scenario.t ->
+  Host_stack.t ->
+  group:Ipv6.Addr.t ->
+  rng:Engine.Rng.t ->
+  from_t:Engine.Time.t ->
+  until:Engine.Time.t ->
+  mean_interval:Engine.Time.t ->
+  bytes:int ->
+  handle
+(** Poisson arrivals with exponential inter-departure times. *)
+
+val stop : handle -> unit
+
+val at : Scenario.t -> Engine.Time.t -> (unit -> unit) -> unit
+(** Schedule a scenario event (a movement, a subscription change). *)

@@ -1,0 +1,71 @@
+open Ipv6
+open Net
+
+type edge = {
+  router : string;
+  in_via : string;
+  out_via : string;
+}
+
+let iface_name scenario router iface =
+  if Router_stack.is_virtual_iface iface then
+    match Router_stack.tunnel_home_of router iface with
+    | Some home -> "tunnel:" ^ Addr.to_string home
+    | None -> Printf.sprintf "tunnel:#%d" iface
+  else
+    Topology.link_name (Network.topology scenario.Scenario.net) (Ids.Link_id.of_int iface)
+
+let forwarding_edges scenario ~source ~group =
+  List.concat_map
+    (fun (name, router) ->
+      match Router_stack.pim router with
+      | exception Invalid_argument _ -> []
+      | pim -> (
+        match Pimdm.Pim_router.entry_info pim ~source ~group with
+        | None -> []
+        | Some info ->
+          let in_via = iface_name scenario router info.Pimdm.Pim_router.iif in
+          List.filter_map
+            (fun (o : Pimdm.Pim_router.oif_info) ->
+              if o.forwarding then
+                Some { router = name; in_via; out_via = iface_name scenario router o.oif }
+              else None)
+            info.Pimdm.Pim_router.oifs))
+    scenario.Scenario.routers
+  |> List.sort compare
+
+let is_tunnel name = String.length name >= 7 && String.sub name 0 7 = "tunnel:"
+
+let links_carrying scenario ~source ~group =
+  let source_link =
+    match Topology.link_of_address (Network.topology scenario.Scenario.net) source with
+    | Some l -> [ Topology.link_name (Network.topology scenario.Scenario.net) l ]
+    | None -> []
+  in
+  let out_links =
+    forwarding_edges scenario ~source ~group
+    |> List.filter_map (fun e -> if is_tunnel e.out_via then None else Some e.out_via)
+  in
+  List.sort_uniq String.compare (source_link @ out_links)
+
+let tunnels_carrying scenario ~source ~group =
+  forwarding_edges scenario ~source ~group
+  |> List.filter_map (fun e ->
+         if is_tunnel e.out_via then
+           Some (String.sub e.out_via 7 (String.length e.out_via - 7))
+         else None)
+  |> List.sort_uniq String.compare
+
+let pp ppf edges =
+  List.iter
+    (fun e -> Format.fprintf ppf "  %s: %s -> %s@." e.router e.in_via e.out_via)
+    edges
+
+let render scenario ~source ~group =
+  let edges = forwarding_edges scenario ~source ~group in
+  let links = links_carrying scenario ~source ~group in
+  let tunnels = tunnels_carrying scenario ~source ~group in
+  Format.asprintf "%alinks carrying traffic: %s%s" pp edges (String.concat " " links)
+    (match tunnels with
+     | [] -> ""
+     | ts -> "\ntunnels: " ^ String.concat " " ts)

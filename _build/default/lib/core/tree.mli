@@ -1,0 +1,31 @@
+(** Extraction and rendering of multicast distribution trees from the
+    routers' PIM-DM state — used to reproduce the tree drawings of the
+    paper's Figures 1-4. *)
+
+open Ipv6
+
+(** One replication decision at a router. *)
+type edge = {
+  router : string;
+  in_via : string;  (** link name of the incoming interface *)
+  out_via : string;  (** link name, or ["tunnel:<home-address>"] *)
+}
+
+val forwarding_edges : Scenario.t -> source:Addr.t -> group:Addr.t -> edge list
+(** Every (router, iif, oif) triple that currently forwards the (S,G)
+    pair, sorted by router then out link. *)
+
+val links_carrying : Scenario.t -> source:Addr.t -> group:Addr.t -> string list
+(** Names of links the tree delivers onto: the source's own link plus
+    every forwarding out-link (tunnels excluded), deduplicated and
+    sorted. *)
+
+val tunnels_carrying : Scenario.t -> source:Addr.t -> group:Addr.t -> string list
+(** Home addresses of mobile hosts currently served through a
+    home-agent tunnel for this (S,G). *)
+
+val pp : Format.formatter -> edge list -> unit
+
+val render : Scenario.t -> source:Addr.t -> group:Addr.t -> string
+(** Multi-line description: one line per forwarding router plus a
+    summary of links covered. *)

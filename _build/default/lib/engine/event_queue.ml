@@ -1,0 +1,136 @@
+type 'a entry = {
+  time : Time.t;
+  seq : int;
+  payload : 'a;
+  id : int;
+}
+
+type handle = int
+
+type status = Live | Cancelled
+
+type 'a t = {
+  mutable heap : 'a entry array option;
+  (* [heap] is [Some arr] once the first push sized the array; [len] is
+     the number of slots in use.  Cancelled entries stay in the array
+     until they reach the top (lazy deletion). *)
+  mutable len : int;
+  mutable seq : int;
+  mutable next_id : int;
+  status : (int, status) Hashtbl.t;
+  (* Ids of entries still in the heap.  Fired entries are removed, so a
+     cancel after firing is a no-op. *)
+  mutable live : int;
+}
+
+let create () =
+  { heap = None; len = 0; seq = 0; next_id = 0; status = Hashtbl.create 64; live = 0 }
+
+let entry_before a b =
+  match Time.compare a.time b.time with
+  | 0 -> a.seq < b.seq
+  | c -> c < 0
+
+let grow t entry =
+  match t.heap with
+  | None ->
+    let arr = Array.make 16 entry in
+    t.heap <- Some arr;
+    arr
+  | Some arr when t.len = Array.length arr ->
+    let bigger = Array.make (2 * Array.length arr) entry in
+    Array.blit arr 0 bigger 0 t.len;
+    t.heap <- Some bigger;
+    bigger
+  | Some arr -> arr
+
+let swap arr i j =
+  let tmp = arr.(i) in
+  arr.(i) <- arr.(j);
+  arr.(j) <- tmp
+
+let rec sift_up arr i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if entry_before arr.(i) arr.(parent) then begin
+      swap arr i parent;
+      sift_up arr parent
+    end
+  end
+
+let rec sift_down arr len i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = if l < len && entry_before arr.(l) arr.(i) then l else i in
+  let smallest = if r < len && entry_before arr.(r) arr.(smallest) then r else smallest in
+  if smallest <> i then begin
+    swap arr i smallest;
+    sift_down arr len smallest
+  end
+
+let push t time payload =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  let entry = { time; seq = t.seq; payload; id } in
+  t.seq <- t.seq + 1;
+  let arr = grow t entry in
+  arr.(t.len) <- entry;
+  t.len <- t.len + 1;
+  sift_up arr (t.len - 1);
+  Hashtbl.replace t.status id Live;
+  t.live <- t.live + 1;
+  id
+
+let is_cancelled t id = Hashtbl.find_opt t.status id = Some Cancelled
+
+let cancel t id =
+  match Hashtbl.find_opt t.status id with
+  | Some Live ->
+    Hashtbl.replace t.status id Cancelled;
+    t.live <- t.live - 1
+  | Some Cancelled | None -> ()
+
+let pop_entry t =
+  match t.heap with
+  | None -> None
+  | Some arr ->
+    if t.len = 0 then None
+    else begin
+      let top = arr.(0) in
+      t.len <- t.len - 1;
+      if t.len > 0 then begin
+        arr.(0) <- arr.(t.len);
+        sift_down arr t.len 0
+      end;
+      Some top
+    end
+
+(* Drop cancelled entries from the top so peek/pop see a live event. *)
+let rec drop_cancelled t =
+  match t.heap with
+  | None -> ()
+  | Some arr ->
+    if t.len > 0 && is_cancelled t arr.(0).id then begin
+      (match pop_entry t with
+       | Some e -> Hashtbl.remove t.status e.id
+       | None -> ());
+      drop_cancelled t
+    end
+
+let peek_time t =
+  drop_cancelled t;
+  match t.heap with
+  | None -> None
+  | Some arr -> if t.len = 0 then None else Some arr.(0).time
+
+let pop t =
+  drop_cancelled t;
+  match pop_entry t with
+  | None -> None
+  | Some e ->
+    Hashtbl.remove t.status e.id;
+    t.live <- t.live - 1;
+    Some (e.time, e.payload)
+
+let size t = t.live
+
+let is_empty t = t.live = 0

@@ -1,0 +1,30 @@
+(** Priority queue of timestamped events with O(log n) insertion and
+    extraction and O(1) cancellation (lazy deletion).
+
+    Events with equal timestamps are delivered in insertion order, which
+    keeps protocol traces deterministic. *)
+
+type 'a t
+
+type handle
+(** Identifies a scheduled event so it can be cancelled. *)
+
+val create : unit -> 'a t
+
+val push : 'a t -> Time.t -> 'a -> handle
+
+val cancel : 'a t -> handle -> unit
+(** Cancelling an already-fired or already-cancelled event is a no-op. *)
+
+val is_cancelled : 'a t -> handle -> bool
+
+val peek_time : 'a t -> Time.t option
+(** Timestamp of the earliest live event, if any. *)
+
+val pop : 'a t -> (Time.t * 'a) option
+(** Remove and return the earliest live event. *)
+
+val size : 'a t -> int
+(** Number of live (non-cancelled) events. *)
+
+val is_empty : 'a t -> bool

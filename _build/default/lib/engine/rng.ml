@@ -1,0 +1,92 @@
+type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+
+(* splitmix64: expands a small seed into well-distributed state words. *)
+let splitmix64 state =
+  let open Int64 in
+  state := add !state 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let create seed =
+  let state = ref (Int64.of_int seed) in
+  let s0 = splitmix64 state in
+  let s1 = splitmix64 state in
+  let s2 = splitmix64 state in
+  let s3 = splitmix64 state in
+  { s0; s1; s2; s3 }
+
+let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
+
+let rotl x k =
+  Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+(* xoshiro256** next *)
+let bits64 t =
+  let open Int64 in
+  let result = mul (rotl (mul t.s1 5L) 7) 9L in
+  let tmp = shift_left t.s1 17 in
+  t.s2 <- logxor t.s2 t.s0;
+  t.s3 <- logxor t.s3 t.s1;
+  t.s1 <- logxor t.s1 t.s2;
+  t.s0 <- logxor t.s0 t.s3;
+  t.s2 <- logxor t.s2 tmp;
+  t.s3 <- rotl t.s3 45;
+  result
+
+let split t =
+  let state = ref (bits64 t) in
+  let s0 = splitmix64 state in
+  let s1 = splitmix64 state in
+  let s2 = splitmix64 state in
+  let s3 = splitmix64 state in
+  { s0; s1; s2; s3 }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Rejection sampling over the top 62 bits avoids modulo bias. *)
+  let mask = max_int in
+  let rec draw () =
+    let v = Int64.to_int (Int64.shift_right_logical (bits64 t) 2) land mask in
+    if v >= mask - (mask mod bound) then draw () else v mod bound
+  in
+  draw ()
+
+let float t bound =
+  if not (Float.is_finite bound) || bound < 0.0 then
+    invalid_arg "Rng.float: bound must be finite and non-negative";
+  if bound = 0.0 then 0.0
+  else
+    (* 53 uniform mantissa bits in [0,1). *)
+    let u =
+      Int64.to_float (Int64.shift_right_logical (bits64 t) 11)
+      *. 0x1.0p-53
+    in
+    u *. bound
+
+let uniform t lo hi =
+  if hi < lo then invalid_arg "Rng.uniform: hi < lo";
+  lo +. float t (hi -. lo)
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let exponential t mean =
+  if mean <= 0.0 then invalid_arg "Rng.exponential: mean must be positive";
+  let rec positive_u () =
+    let u = float t 1.0 in
+    if u = 0.0 then positive_u () else u
+  in
+  -.mean *. log (positive_u ())
+
+let pick t arr =
+  if Array.length arr = 0 then invalid_arg "Rng.pick: empty array";
+  arr.(int t (Array.length arr))
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done

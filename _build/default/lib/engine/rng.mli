@@ -1,0 +1,44 @@
+(** Deterministic pseudo-random number generator.
+
+    Every stochastic element of the simulator (MLD response-delay
+    randomization, mobility models, workload generators) draws from an
+    explicit [Rng.t] so that simulations are reproducible from a seed.
+    The generator is xoshiro256** seeded through splitmix64. *)
+
+type t
+
+val create : int -> t
+(** [create seed] builds a generator from a seed.  Equal seeds yield
+    identical streams. *)
+
+val copy : t -> t
+
+val split : t -> t
+(** [split t] deterministically derives an independent generator and
+    advances [t].  Used to give each node its own stream. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)].  [bound] must be > 0. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)].  [bound] must be
+    finite and >= 0; [float t 0.] is [0.]. *)
+
+val uniform : t -> float -> float -> float
+(** [uniform t lo hi] is uniform in [\[lo, hi)]. *)
+
+val bool : t -> bool
+
+val exponential : t -> float -> float
+(** [exponential t mean] draws from Exp(1/mean); used for inter-arrival
+    and dwell times in mobility models. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform element of a non-empty array.  @raise Invalid_argument on
+    an empty array. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)

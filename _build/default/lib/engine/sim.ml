@@ -1,0 +1,63 @@
+type handle = Event_queue.handle
+
+type t = {
+  mutable clock : Time.t;
+  queue : (unit -> unit) Event_queue.t;
+  root_rng : Rng.t;
+  mutable executed : int;
+}
+
+let create ?(seed = 42) () =
+  { clock = Time.zero; queue = Event_queue.create (); root_rng = Rng.create seed; executed = 0 }
+
+let now t = t.clock
+let rng t = t.root_rng
+
+let schedule_at t time f =
+  if Time.compare time t.clock < 0 then
+    invalid_arg
+      (Printf.sprintf "Sim.schedule_at: %g is in the past (now %g)"
+         (Time.seconds time) (Time.seconds t.clock));
+  Event_queue.push t.queue time f
+
+let schedule_after t delay f = schedule_at t (Time.add t.clock delay) f
+
+let cancel t handle = Event_queue.cancel t.queue handle
+
+let pending t = Event_queue.size t.queue
+
+let step t =
+  match Event_queue.pop t.queue with
+  | None -> false
+  | Some (time, f) ->
+    t.clock <- time;
+    t.executed <- t.executed + 1;
+    f ();
+    true
+
+let run ?until ?max_events t =
+  let budget_exhausted () =
+    match max_events with
+    | None -> false
+    | Some n -> t.executed >= n
+  in
+  let rec loop () =
+    if budget_exhausted () then ()
+    else
+      match Event_queue.peek_time t.queue with
+      | None -> ()
+      | Some next -> (
+        match until with
+        | Some limit when Time.compare next limit > 0 -> t.clock <- limit
+        | Some _ | None ->
+          ignore (step t);
+          loop ())
+  in
+  loop ();
+  (* An [until] bound advances the clock even when the queue drains early. *)
+  match until with
+  | Some limit when Time.compare t.clock limit < 0 && not (budget_exhausted ()) ->
+    t.clock <- limit
+  | Some _ | None -> ()
+
+let events_executed t = t.executed

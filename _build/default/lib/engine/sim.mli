@@ -1,0 +1,44 @@
+(** Discrete-event simulator.
+
+    A [Sim.t] owns the clock and the event queue.  All protocol modules
+    receive the simulator explicitly; there is no global state, so tests
+    can run many independent simulations. *)
+
+type t
+
+type handle
+(** A scheduled callback, usable with {!cancel}. *)
+
+val create : ?seed:int -> unit -> t
+(** Fresh simulator at time 0.  [seed] (default 42) seeds the root RNG
+    from which per-component generators are split. *)
+
+val now : t -> Time.t
+
+val rng : t -> Rng.t
+(** The simulator's root random stream.  Components that need
+    independent streams should [Rng.split] it once at set-up. *)
+
+val schedule_at : t -> Time.t -> (unit -> unit) -> handle
+(** [schedule_at sim t f] runs [f] when the clock reaches [t].
+    @raise Invalid_argument if [t] is in the past. *)
+
+val schedule_after : t -> Time.t -> (unit -> unit) -> handle
+(** [schedule_after sim d f] runs [f] at [now sim + d]. *)
+
+val cancel : t -> handle -> unit
+
+val pending : t -> int
+(** Number of live scheduled callbacks. *)
+
+val step : t -> bool
+(** Execute the earliest event.  Returns [false] if the queue was
+    empty. *)
+
+val run : ?until:Time.t -> ?max_events:int -> t -> unit
+(** Drain the event queue.  With [until], stops once the next event
+    would fire strictly after [until] and advances the clock to [until].
+    With [max_events], stops after that many events (a runaway guard for
+    tests). *)
+
+val events_executed : t -> int

@@ -1,0 +1,48 @@
+type t = {
+  sim : Sim.t;
+  name : string;
+  on_expire : unit -> unit;
+  mutable armed : (Sim.handle * Time.t) option;
+  mutable generation : int;
+}
+
+let create sim ~name ~on_expire =
+  { sim; name; on_expire; armed = None; generation = 0 }
+
+let stop t =
+  match t.armed with
+  | None -> ()
+  | Some (handle, _) ->
+    Sim.cancel t.sim handle;
+    t.armed <- None;
+    t.generation <- t.generation + 1
+
+let start t duration =
+  stop t;
+  let generation = t.generation in
+  let expiry = Time.add (Sim.now t.sim) duration in
+  let fire () =
+    (* The generation guard makes a stale callback harmless even if the
+       underlying event somehow survives a cancel. *)
+    if t.generation = generation then begin
+      t.armed <- None;
+      t.generation <- t.generation + 1;
+      t.on_expire ()
+    end
+  in
+  let handle = Sim.schedule_at t.sim expiry fire in
+  t.armed <- Some (handle, expiry)
+
+let is_armed t = t.armed <> None
+
+let expiry t =
+  match t.armed with
+  | None -> None
+  | Some (_, e) -> Some e
+
+let remaining t =
+  match t.armed with
+  | None -> None
+  | Some (_, e) -> Some (Time.sub e (Sim.now t.sim))
+
+let name t = t.name

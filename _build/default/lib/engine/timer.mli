@@ -1,0 +1,28 @@
+(** Restartable one-shot timers.
+
+    Protocol state machines (MLD group membership timers, PIM prune and
+    (S,G) expiry timers, Mobile IPv6 binding lifetimes) are expressed as
+    timers that are (re)started and stopped; restarting an armed timer
+    replaces its previous expiry. *)
+
+type t
+
+val create : Sim.t -> name:string -> on_expire:(unit -> unit) -> t
+(** The timer starts disarmed.  [name] appears in traces and error
+    messages. *)
+
+val start : t -> Time.t -> unit
+(** Arm (or re-arm) the timer to fire after the given duration. *)
+
+val stop : t -> unit
+(** Disarm; a no-op if not armed. *)
+
+val is_armed : t -> bool
+
+val expiry : t -> Time.t option
+(** Absolute expiry time when armed. *)
+
+val remaining : t -> Time.t option
+(** Time left until expiry when armed. *)
+
+val name : t -> string

@@ -1,0 +1,41 @@
+type record = {
+  at : Time.t;
+  category : string;
+  message : string;
+}
+
+type t = {
+  sim : Sim.t;
+  mutable items : record list;  (* newest first *)
+  mutable enabled : bool;
+}
+
+let create ?(enabled = true) sim = { sim; items = []; enabled }
+
+let set_enabled t flag = t.enabled <- flag
+let enabled t = t.enabled
+
+let record t ~category message =
+  if t.enabled then
+    t.items <- { at = Sim.now t.sim; category; message } :: t.items
+
+let recordf t ~category fmt =
+  Format.kasprintf (fun message -> record t ~category message) fmt
+
+let records t = List.rev t.items
+
+let by_category t category =
+  List.filter (fun r -> String.equal r.category category) (records t)
+
+let count ?category t =
+  match category with
+  | None -> List.length t.items
+  | Some c -> List.length (by_category t c)
+
+let clear t = t.items <- []
+
+let pp_record ppf r =
+  Format.fprintf ppf "[%a] %-6s %s" Time.pp r.at r.category r.message
+
+let pp ppf t =
+  List.iter (fun r -> Format.fprintf ppf "%a@." pp_record r) (records t)

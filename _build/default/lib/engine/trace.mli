@@ -1,0 +1,37 @@
+(** In-memory event trace.
+
+    Protocol modules record human-readable events here; tests assert on
+    them and the benchmark harness prints them.  Recording can be
+    disabled wholesale for long benchmark runs. *)
+
+type record = {
+  at : Time.t;
+  category : string;  (** e.g. ["mld"], ["pim"], ["mipv6"], ["link"] *)
+  message : string;
+}
+
+type t
+
+val create : ?enabled:bool -> Sim.t -> t
+
+val set_enabled : t -> bool -> unit
+
+val enabled : t -> bool
+
+val record : t -> category:string -> string -> unit
+
+val recordf : t -> category:string -> ('a, Format.formatter, unit, unit) format4 -> 'a
+
+val records : t -> record list
+(** All records, oldest first. *)
+
+val by_category : t -> string -> record list
+
+val count : ?category:string -> t -> int
+
+val clear : t -> unit
+
+val pp_record : Format.formatter -> record -> unit
+
+val pp : Format.formatter -> t -> unit
+(** Dump the whole trace, one record per line. *)

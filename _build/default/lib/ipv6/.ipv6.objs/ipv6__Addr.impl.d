@@ -1,0 +1,1 @@
+lib/ipv6/addr.ml: Array Bytes Char Format Hashtbl Int64 List Map Printf Set String

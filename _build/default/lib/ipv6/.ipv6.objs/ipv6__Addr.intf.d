@@ -1,0 +1,1 @@
+lib/ipv6/addr.mli: Format Map Set

@@ -1,0 +1,1 @@
+lib/ipv6/codec.ml: Addr Bytes Char Format List Mld_message Nd_message Packet Pim_message Prefix Result Wire

@@ -1,0 +1,1 @@
+lib/ipv6/hexdump.ml: Bytes Char Format

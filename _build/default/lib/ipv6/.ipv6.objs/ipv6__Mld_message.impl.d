@@ -1,0 +1,1 @@
+lib/ipv6/mld_message.ml: Addr Format Option

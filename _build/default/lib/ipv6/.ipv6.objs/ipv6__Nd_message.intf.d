@@ -1,0 +1,1 @@
+lib/ipv6/nd_message.mli: Format Prefix

@@ -1,0 +1,1 @@
+lib/ipv6/packet.ml: Addr Format List Mld_message Nd_message Pim_message

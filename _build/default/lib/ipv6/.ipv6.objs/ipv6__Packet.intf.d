@@ -1,0 +1,1 @@
+lib/ipv6/packet.mli: Addr Format Mld_message Nd_message Pim_message

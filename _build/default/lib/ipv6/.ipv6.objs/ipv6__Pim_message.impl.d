@@ -1,0 +1,1 @@
+lib/ipv6/pim_message.ml: Addr Format List

@@ -1,0 +1,1 @@
+lib/ipv6/prefix.ml: Addr Format Int Int64 Printf String

@@ -1,0 +1,1 @@
+lib/ipv6/prefix.mli: Addr Format

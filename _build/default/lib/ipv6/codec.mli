@@ -1,0 +1,51 @@
+(** Byte-exact packet codec.
+
+    Encoding follows the IETF formats the paper builds on: the fixed
+    IPv6 header, a destination-options extension header carrying Mobile
+    IPv6 options (draft-ietf-mobileip-ipv6-10 option types), ICMPv6 for
+    MLD (RFC 2710), PIM version 2 messages, RFC 2473 IPv6-in-IPv6
+    encapsulation, and the paper's Multicast Group List Sub-Option with
+    its Figure 5 layout (Sub-Option Len = 16·N).
+
+    [Bytes.length (encode p) = Packet.size p] holds for every encodable
+    packet; the property is enforced by tests and makes the byte
+    accounting of the metrics layer exact.
+
+    A Binding Update's care-of address is not a wire field of its own
+    (per the draft it is the packet's source address, unless an
+    Alternate Care-of Address sub-option is present), so [decode]
+    reconstructs it from those. *)
+
+exception Error of string
+
+val encode : Packet.t -> bytes
+(** @raise Error when the packet cannot be put on the wire: a [Data]
+    payload smaller than 8 bytes (the stream/seq header) or a total
+    payload beyond 65535 bytes. *)
+
+val decode : bytes -> (Packet.t, string) result
+(** Full parse, including ICMPv6/PIM checksum verification. *)
+
+val decode_exn : bytes -> Packet.t
+(** @raise Error on malformed input. *)
+
+(* Wire constants, exposed for tests and for the Figure 5 dump. *)
+
+val next_header_dest_options : int
+val next_header_icmpv6 : int
+val next_header_pim : int
+val next_header_ipv6 : int
+val next_header_udp : int
+val next_header_none : int
+
+val option_type_binding_update : int
+val option_type_binding_ack : int
+val option_type_binding_request : int
+val option_type_home_address : int
+
+val sub_option_type_unique_identifier : int
+val sub_option_type_alternate_care_of : int
+val sub_option_type_multicast_group_list : int
+
+val encode_sub_option : Packet.sub_option -> bytes
+(** Just the sub-option TLV, as drawn in the paper's Figure 5. *)

@@ -1,0 +1,41 @@
+let pp ppf buf =
+  let len = Bytes.length buf in
+  let rows = (len + 15) / 16 in
+  for row = 0 to rows - 1 do
+    let base = row * 16 in
+    Format.fprintf ppf "%04x  " base;
+    for i = 0 to 15 do
+      if base + i < len then
+        Format.fprintf ppf "%02x%s" (Char.code (Bytes.get buf (base + i)))
+          (if i = 7 then "  " else " ")
+      else Format.fprintf ppf "  %s" (if i = 7 then "  " else " ")
+    done;
+    Format.fprintf ppf " |";
+    for i = 0 to 15 do
+      if base + i < len then begin
+        let c = Bytes.get buf (base + i) in
+        Format.pp_print_char ppf (if c >= ' ' && c < '\127' then c else '.')
+      end
+    done;
+    Format.fprintf ppf "|";
+    if row < rows - 1 then Format.pp_print_newline ppf ()
+  done
+
+let to_string buf = Format.asprintf "%a" pp buf
+
+let pp_bits ppf buf =
+  let len = Bytes.length buf in
+  let rows = (len + 3) / 4 in
+  for row = 0 to rows - 1 do
+    let base = row * 4 in
+    for i = 0 to 3 do
+      if base + i < len then begin
+        let b = Char.code (Bytes.get buf (base + i)) in
+        for bit = 7 downto 0 do
+          Format.pp_print_char ppf (if (b lsr bit) land 1 = 1 then '1' else '0')
+        done;
+        if i < 3 then Format.pp_print_char ppf ' '
+      end
+    done;
+    if row < rows - 1 then Format.pp_print_newline ppf ()
+  done

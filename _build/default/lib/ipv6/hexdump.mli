@@ -1,0 +1,11 @@
+(** Hexadecimal dumps of wire buffers (used by the Figure 5
+    reproduction and by debugging output). *)
+
+val pp : Format.formatter -> bytes -> unit
+(** Classic 16-bytes-per-line dump with offsets and an ASCII gutter. *)
+
+val to_string : bytes -> string
+
+val pp_bits : Format.formatter -> bytes -> unit
+(** One line of 32 bits per row, matching the bit-diagram style of the
+    paper's Figure 5. *)

@@ -1,0 +1,34 @@
+type t =
+  | Query of { group : Addr.t option; max_response_delay_ms : int }
+  | Report of { group : Addr.t }
+  | Done of { group : Addr.t }
+
+let icmp_type = function
+  | Query _ -> 130
+  | Report _ -> 131
+  | Done _ -> 132
+
+(* type(1) + code(1) + checksum(2) + max resp delay(2) + reserved(2) +
+   multicast address(16) *)
+let size _ = 24
+
+let group = function
+  | Query { group; _ } -> group
+  | Report { group; _ } | Done { group; _ } -> Some group
+
+let equal a b =
+  match (a, b) with
+  | Query { group = g1; max_response_delay_ms = d1 },
+    Query { group = g2; max_response_delay_ms = d2 } ->
+    Option.equal Addr.equal g1 g2 && d1 = d2
+  | Report { group = g1 }, Report { group = g2 } -> Addr.equal g1 g2
+  | Done { group = g1 }, Done { group = g2 } -> Addr.equal g1 g2
+  | (Query _ | Report _ | Done _), _ -> false
+
+let pp ppf = function
+  | Query { group = None; max_response_delay_ms } ->
+    Format.fprintf ppf "MLD General Query (resp<=%dms)" max_response_delay_ms
+  | Query { group = Some g; max_response_delay_ms } ->
+    Format.fprintf ppf "MLD Query for %a (resp<=%dms)" Addr.pp g max_response_delay_ms
+  | Report { group } -> Format.fprintf ppf "MLD Report for %a" Addr.pp group
+  | Done { group } -> Format.fprintf ppf "MLD Done for %a" Addr.pp group

@@ -1,0 +1,27 @@
+(** MLD (RFC 2710) message formats.
+
+    MLD messages are ICMPv6 messages (types 130-132).  The protocol
+    state machines live in the [mld] library; only the wire format is
+    defined here, next to the packet model that carries it. *)
+
+type t =
+  | Query of {
+      group : Addr.t option;
+          (** [None] is a General Query (wire: unspecified address);
+              [Some g] a Multicast-Address-Specific Query. *)
+      max_response_delay_ms : int;
+    }
+  | Report of { group : Addr.t }
+  | Done of { group : Addr.t }
+
+val icmp_type : t -> int
+(** 130 for queries, 131 for reports, 132 for done. *)
+
+val size : t -> int
+(** Bytes of the ICMPv6 body (RFC 2710: always 24). *)
+
+val group : t -> Addr.t option
+(** The multicast address field ([None] for a General Query). *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,40 @@
+type t =
+  | Router_advertisement of {
+      prefix : Prefix.t;
+      router_lifetime_s : int;
+      interval_ms : int;
+    }
+  | Home_agent_heartbeat of {
+      priority : int;
+      sequence : int;
+    }
+
+let icmp_type = function
+  | Router_advertisement _ -> 134
+  | Home_agent_heartbeat _ -> 200
+
+let size = function
+  | Router_advertisement _ ->
+    (* header(4) + hop limit/flags/lifetime(4) + reachable(4) +
+       retrans(4) + prefix information option(32) *)
+    16 + 32
+  | Home_agent_heartbeat _ ->
+    (* header(4) + priority(2) + sequence(2) *)
+    8
+
+let equal a b =
+  match (a, b) with
+  | Router_advertisement r1, Router_advertisement r2 ->
+    Prefix.equal r1.prefix r2.prefix
+    && r1.router_lifetime_s = r2.router_lifetime_s
+    && r1.interval_ms = r2.interval_ms
+  | Home_agent_heartbeat h1, Home_agent_heartbeat h2 ->
+    h1.priority = h2.priority && h1.sequence = h2.sequence
+  | (Router_advertisement _ | Home_agent_heartbeat _), _ -> false
+
+let pp ppf = function
+  | Router_advertisement { prefix; router_lifetime_s; interval_ms } ->
+    Format.fprintf ppf "RA %a (lifetime %ds, every %dms)" Prefix.pp prefix
+      router_lifetime_s interval_ms
+  | Home_agent_heartbeat { priority; sequence } ->
+    Format.fprintf ppf "HA heartbeat prio=%d seq=%d" priority sequence

@@ -1,0 +1,28 @@
+(** Neighbor-discovery-family ICMPv6 messages used by the extensions.
+
+    {ul
+    {- [Router_advertisement] (ICMPv6 type 134, with one Prefix
+       Information option): periodic on-link announcements.  Mobile
+       hosts can use them for movement detection instead of the
+       abstract fixed delay — receiving an advertisement for an unknown
+       prefix reveals the new link.}
+    {- [Home_agent_heartbeat] (experimental ICMPv6 type 200): the
+       keep-alive exchanged between redundant home agents serving the
+       same home link (the paper's cited further work on home-agent
+       redundancy).}} *)
+
+type t =
+  | Router_advertisement of {
+      prefix : Prefix.t;
+      router_lifetime_s : int;
+      interval_ms : int;  (** advertised sending interval *)
+    }
+  | Home_agent_heartbeat of {
+      priority : int;  (** lower wins the active-home-agent election *)
+      sequence : int;
+    }
+
+val icmp_type : t -> int
+val size : t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

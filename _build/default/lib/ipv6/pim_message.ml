@@ -1,0 +1,99 @@
+type source_group = { source : Addr.t; group : Addr.t }
+
+type t =
+  | Hello of { holdtime_s : int }
+  | Join_prune of {
+      upstream_neighbor : Addr.t;
+      holdtime_s : int;
+      joins : source_group list;
+      prunes : source_group list;
+    }
+  | Graft of { upstream_neighbor : Addr.t; joins : source_group list }
+  | Graft_ack of { upstream_neighbor : Addr.t; joins : source_group list }
+  | Assert of {
+      group : Addr.t;
+      source : Addr.t;
+      metric_preference : int;
+      metric : int;
+    }
+  | State_refresh of {
+      refresh_source : Addr.t;
+      refresh_group : Addr.t;
+      interval_s : int;
+      prune_indicator : bool;
+    }
+
+let message_type = function
+  | Hello _ -> 0
+  | Join_prune _ -> 3
+  | Assert _ -> 5
+  | Graft _ -> 6
+  | Graft_ack _ -> 7
+  | State_refresh _ -> 9
+
+let header_size = 4 (* version/type(1) + reserved(1) + checksum(2) *)
+
+let encoded_source_group_count joins prunes = List.length joins + List.length prunes
+
+let size = function
+  | Hello _ -> header_size + 8 (* holdtime option *)
+  | Join_prune { joins; prunes; _ } ->
+    (* upstream neighbor (18) + reserved/counts/holdtime (4) + one group
+       record per (S,G): group (18) + counts (4) + source (18). *)
+    header_size + 18 + 4 + (40 * encoded_source_group_count joins prunes)
+  | Graft { joins; _ } | Graft_ack { joins; _ } ->
+    header_size + 18 + 4 + (40 * List.length joins)
+  | Assert _ -> header_size + 18 + 18 + 8
+  | State_refresh _ -> header_size + 18 + 18 + 4
+
+let sg_equal a b = Addr.equal a.source b.source && Addr.equal a.group b.group
+
+let sg_list_equal = List.equal sg_equal
+
+let equal a b =
+  match (a, b) with
+  | Hello { holdtime_s = h1 }, Hello { holdtime_s = h2 } -> h1 = h2
+  | Join_prune j1, Join_prune j2 ->
+    Addr.equal j1.upstream_neighbor j2.upstream_neighbor
+    && j1.holdtime_s = j2.holdtime_s
+    && sg_list_equal j1.joins j2.joins
+    && sg_list_equal j1.prunes j2.prunes
+  | Graft g1, Graft g2 ->
+    Addr.equal g1.upstream_neighbor g2.upstream_neighbor && sg_list_equal g1.joins g2.joins
+  | Graft_ack g1, Graft_ack g2 ->
+    Addr.equal g1.upstream_neighbor g2.upstream_neighbor && sg_list_equal g1.joins g2.joins
+  | Assert a1, Assert a2 ->
+    Addr.equal a1.group a2.group
+    && Addr.equal a1.source a2.source
+    && a1.metric_preference = a2.metric_preference
+    && a1.metric = a2.metric
+  | State_refresh s1, State_refresh s2 ->
+    Addr.equal s1.refresh_source s2.refresh_source
+    && Addr.equal s1.refresh_group s2.refresh_group
+    && s1.interval_s = s2.interval_s
+    && s1.prune_indicator = s2.prune_indicator
+  | (Hello _ | Join_prune _ | Graft _ | Graft_ack _ | Assert _ | State_refresh _), _ ->
+    false
+
+let pp_sg ppf { source; group } =
+  Format.fprintf ppf "(%a,%a)" Addr.pp source Addr.pp group
+
+let pp_sg_list ppf sgs =
+  Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ") pp_sg ppf sgs
+
+let pp ppf = function
+  | Hello { holdtime_s } -> Format.fprintf ppf "PIM Hello (holdtime %ds)" holdtime_s
+  | Join_prune { upstream_neighbor; joins; prunes; holdtime_s } ->
+    Format.fprintf ppf "PIM Join/Prune to %a holdtime=%ds joins=[%a] prunes=[%a]"
+      Addr.pp upstream_neighbor holdtime_s pp_sg_list joins pp_sg_list prunes
+  | Graft { upstream_neighbor; joins } ->
+    Format.fprintf ppf "PIM Graft to %a [%a]" Addr.pp upstream_neighbor pp_sg_list joins
+  | Graft_ack { upstream_neighbor; joins } ->
+    Format.fprintf ppf "PIM Graft-Ack to %a [%a]" Addr.pp upstream_neighbor pp_sg_list joins
+  | Assert { group; source; metric_preference; metric } ->
+    Format.fprintf ppf "PIM Assert %a pref=%d metric=%d"
+      pp_sg { source; group } metric_preference metric
+  | State_refresh { refresh_source; refresh_group; interval_s; prune_indicator } ->
+    Format.fprintf ppf "PIM State Refresh %a every %ds%s"
+      pp_sg { source = refresh_source; group = refresh_group } interval_s
+      (if prune_indicator then " (P)" else "")

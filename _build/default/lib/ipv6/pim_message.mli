@@ -1,0 +1,51 @@
+(** PIM version 2 message formats (dense-mode subset).
+
+    Messages follow draft-ietf-pim-v2-dm-03: Hello, Join/Prune (dense
+    mode uses it for prunes and prune-overriding joins), Graft,
+    Graft-Ack and Assert.  The router state machine lives in the
+    [pimdm] library. *)
+
+type source_group = { source : Addr.t; group : Addr.t }
+
+type t =
+  | Hello of { holdtime_s : int }
+  | Join_prune of {
+      upstream_neighbor : Addr.t;
+      holdtime_s : int;
+      joins : source_group list;
+      prunes : source_group list;
+    }
+  | Graft of { upstream_neighbor : Addr.t; joins : source_group list }
+  | Graft_ack of { upstream_neighbor : Addr.t; joins : source_group list }
+  | Assert of {
+      group : Addr.t;
+      source : Addr.t;
+      metric_preference : int;
+      metric : int;
+    }
+  | State_refresh of {
+      refresh_source : Addr.t;
+      refresh_group : Addr.t;
+      interval_s : int;
+      prune_indicator : bool;
+          (** Set when the interface the message is sent on is pruned
+              at the sender: a downstream router that still needs the
+              traffic answers with a Graft, recovering from lost
+              Joins. *)
+    }
+      (** The State-Refresh extension of later PIM-DM revisions:
+          originated periodically by first-hop routers and propagated
+          down the broadcast tree, it keeps (S,G) and prune state alive
+          so dense mode stops re-flooding every prune-holdtime. *)
+
+val message_type : t -> int
+(** PIM message-type code (Hello 0, Join/Prune 3, Graft 6, Graft-Ack 7,
+    Assert 5, State Refresh 9). *)
+
+val size : t -> int
+(** Approximate wire size in bytes of the PIM body. *)
+
+val sg_equal : source_group -> source_group -> bool
+val equal : t -> t -> bool
+val pp_sg : Format.formatter -> source_group -> unit
+val pp : Format.formatter -> t -> unit

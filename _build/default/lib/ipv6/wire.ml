@@ -1,0 +1,102 @@
+module Writer = struct
+  type t = { mutable buf : bytes; mutable len : int }
+
+  let create () = { buf = Bytes.make 64 '\000'; len = 0 }
+  let length t = t.len
+
+  let ensure t n =
+    if t.len + n > Bytes.length t.buf then begin
+      let capacity = max (2 * Bytes.length t.buf) (t.len + n) in
+      let bigger = Bytes.make capacity '\000' in
+      Bytes.blit t.buf 0 bigger 0 t.len;
+      t.buf <- bigger
+    end
+
+  let u8 t v =
+    ensure t 1;
+    Bytes.set t.buf t.len (Char.chr (v land 0xff));
+    t.len <- t.len + 1
+
+  let u16 t v =
+    u8 t (v lsr 8);
+    u8 t v
+
+  let u32 t v =
+    u16 t (v lsr 16);
+    u16 t v
+
+  let addr t a =
+    ensure t 16;
+    Addr.to_bytes a t.buf t.len;
+    t.len <- t.len + 16
+
+  let zeros t n =
+    ensure t n;
+    Bytes.fill t.buf t.len n '\000';
+    t.len <- t.len + n
+
+  let contents t = Bytes.sub t.buf 0 t.len
+
+  let patch_u16 t off v =
+    if off + 2 > t.len then invalid_arg "Writer.patch_u16: offset beyond written data";
+    Bytes.set t.buf off (Char.chr ((v lsr 8) land 0xff));
+    Bytes.set t.buf (off + 1) (Char.chr (v land 0xff))
+end
+
+module Reader = struct
+  type t = { buf : bytes; mutable pos : int; limit : int }
+
+  exception Truncated
+
+  let of_bytes buf = { buf; pos = 0; limit = Bytes.length buf }
+
+  let sub t off len =
+    if off < 0 || len < 0 || off + len > Bytes.length t.buf then raise Truncated;
+    { buf = t.buf; pos = off; limit = off + len }
+
+  let pos t = t.pos
+  let remaining t = t.limit - t.pos
+
+  let need t n = if t.pos + n > t.limit then raise Truncated
+
+  let u8 t =
+    need t 1;
+    let v = Char.code (Bytes.get t.buf t.pos) in
+    t.pos <- t.pos + 1;
+    v
+
+  let u16 t =
+    let hi = u8 t in
+    let lo = u8 t in
+    (hi lsl 8) lor lo
+
+  let u32 t =
+    let hi = u16 t in
+    let lo = u16 t in
+    (hi lsl 16) lor lo
+
+  let addr t =
+    need t 16;
+    let a = Addr.of_bytes t.buf t.pos in
+    t.pos <- t.pos + 16;
+    a
+
+  let skip t n =
+    need t n;
+    t.pos <- t.pos + n
+end
+
+let checksum buf off len =
+  let sum = ref 0 in
+  let i = ref 0 in
+  while !i + 1 < len do
+    let hi = Char.code (Bytes.get buf (off + !i)) in
+    let lo = Char.code (Bytes.get buf (off + !i + 1)) in
+    sum := !sum + ((hi lsl 8) lor lo);
+    i := !i + 2
+  done;
+  if len land 1 = 1 then sum := !sum + (Char.code (Bytes.get buf (off + len - 1)) lsl 8);
+  while !sum lsr 16 <> 0 do
+    sum := (!sum land 0xffff) + (!sum lsr 16)
+  done;
+  lnot !sum land 0xffff

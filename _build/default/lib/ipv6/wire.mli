@@ -1,0 +1,44 @@
+(** Byte-level reader and writer used by {!Codec}. *)
+
+module Writer : sig
+  type t
+
+  val create : unit -> t
+  val length : t -> int
+  val u8 : t -> int -> unit
+  val u16 : t -> int -> unit
+  val u32 : t -> int -> unit
+  (** Big-endian; values are masked to the field width. *)
+
+  val addr : t -> Addr.t -> unit
+  val zeros : t -> int -> unit
+  val contents : t -> bytes
+
+  val patch_u16 : t -> int -> int -> unit
+  (** [patch_u16 t off v] overwrites two bytes already written at
+      [off]; used for length and checksum fields. *)
+end
+
+module Reader : sig
+  type t
+
+  exception Truncated
+
+  val of_bytes : bytes -> t
+  val sub : t -> int -> int -> t
+  (** [sub r off len] is a reader over a slice (absolute offsets into
+      the underlying buffer). *)
+
+  val pos : t -> int
+  val remaining : t -> int
+  val u8 : t -> int
+  val u16 : t -> int
+  val u32 : t -> int
+  val addr : t -> Addr.t
+  val skip : t -> int -> unit
+  (** All raise {!Truncated} when the slice is exhausted. *)
+end
+
+val checksum : bytes -> int -> int -> int
+(** One's-complement 16-bit internet checksum over
+    [len] bytes starting at [off]; odd lengths are zero-padded. *)

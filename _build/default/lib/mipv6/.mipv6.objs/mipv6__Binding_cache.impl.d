@@ -1,0 +1,1 @@
+lib/mipv6/binding_cache.ml: Addr Engine Hashtbl Ipv6 List Packet

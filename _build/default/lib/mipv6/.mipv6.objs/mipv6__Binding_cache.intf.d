@@ -1,0 +1,1 @@
+lib/mipv6/binding_cache.mli: Addr Engine Ipv6 Packet

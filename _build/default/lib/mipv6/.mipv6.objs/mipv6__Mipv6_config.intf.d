@@ -1,0 +1,1 @@
+lib/mipv6/mipv6_config.mli: Engine Format

@@ -1,0 +1,1 @@
+lib/mipv6/mobile_node.ml: Addr Engine Ipv6 Lazy List Mipv6_config Packet

@@ -1,0 +1,1 @@
+lib/mipv6/mobile_node.mli: Addr Engine Ipv6 Mipv6_config Packet

@@ -1,0 +1,1 @@
+lib/mipv6/tunnel.ml: Ipv6 Packet

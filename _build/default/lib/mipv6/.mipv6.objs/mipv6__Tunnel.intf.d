@@ -1,0 +1,1 @@
+lib/mipv6/tunnel.mli: Addr Ipv6 Packet

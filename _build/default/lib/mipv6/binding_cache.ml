@@ -1,0 +1,119 @@
+open Ipv6
+
+type entry = {
+  home : Addr.t;
+  care_of : Addr.t;
+  sequence : int;
+  groups : Addr.t list;
+  registered_at : Engine.Time.t;
+  expires_at : Engine.Time.t;
+}
+
+type callbacks = {
+  added : entry -> unit;
+  refreshed : previous:entry -> entry -> unit;
+  removed : entry -> unit;
+  expiring : entry -> unit;
+}
+
+type slot = { entry : entry; timer : Engine.Timer.t; warning : Engine.Timer.t }
+
+type t = {
+  sim : Engine.Sim.t;
+  callbacks : callbacks;
+  slots : (Addr.t, slot) Hashtbl.t;
+}
+
+let status_accepted = 0
+let status_sequence_out_of_window = 141
+
+let create sim callbacks = { sim; callbacks; slots = Hashtbl.create 8 }
+
+let lookup t home =
+  match Hashtbl.find_opt t.slots home with
+  | Some { entry; _ } -> Some entry
+  | None -> None
+
+let remove_slot t home ~notify =
+  match Hashtbl.find_opt t.slots home with
+  | None -> ()
+  | Some { entry; timer; warning } ->
+    Engine.Timer.stop timer;
+    Engine.Timer.stop warning;
+    Hashtbl.remove t.slots home;
+    if notify then t.callbacks.removed entry
+
+let groups_of_update (bu : Packet.binding_update) =
+  List.concat_map
+    (function
+      | Packet.Multicast_group_list gs -> gs
+      | Packet.Unique_identifier _ | Packet.Alternate_care_of _ -> [])
+    bu.Packet.sub_options
+
+let process_update t ~home (bu : Packet.binding_update) =
+  let stale =
+    match lookup t home with
+    | Some existing -> bu.Packet.sequence < existing.sequence
+    | None -> false
+  in
+  if stale then Error status_sequence_out_of_window
+  else if bu.Packet.lifetime_s = 0 || Addr.equal bu.Packet.care_of home then begin
+    (* Deregistration: the mobile node returned home. *)
+    let now = Engine.Sim.now t.sim in
+    let entry =
+      { home;
+        care_of = home;
+        sequence = bu.Packet.sequence;
+        groups = [];
+        registered_at = now;
+        expires_at = now }
+    in
+    remove_slot t home ~notify:true;
+    Ok entry
+  end
+  else begin
+    let now = Engine.Sim.now t.sim in
+    let lifetime = float_of_int bu.Packet.lifetime_s in
+    let entry =
+      { home;
+        care_of = bu.Packet.care_of;
+        sequence = bu.Packet.sequence;
+        groups = groups_of_update bu;
+        registered_at = now;
+        expires_at = Engine.Time.add now lifetime }
+    in
+    let previous = lookup t home in
+    remove_slot t home ~notify:false;
+    let timer =
+      Engine.Timer.create t.sim ~name:("binding." ^ Addr.to_string home)
+        ~on_expire:(fun () -> remove_slot t home ~notify:true)
+    in
+    let warning =
+      Engine.Timer.create t.sim ~name:("binding-warn." ^ Addr.to_string home)
+        ~on_expire:(fun () ->
+          match Hashtbl.find_opt t.slots home with
+          | Some { entry; _ } -> t.callbacks.expiring entry
+          | None -> ())
+    in
+    Hashtbl.replace t.slots home { entry; timer; warning };
+    Engine.Timer.start timer lifetime;
+    Engine.Timer.start warning (0.75 *. lifetime);
+    (match previous with
+     | None -> t.callbacks.added entry
+     | Some previous -> t.callbacks.refreshed ~previous entry);
+    Ok entry
+  end
+
+let entries t =
+  Hashtbl.fold (fun _ { entry; _ } acc -> entry :: acc) t.slots []
+  |> List.sort (fun a b -> Addr.compare a.home b.home)
+
+let size t = Hashtbl.length t.slots
+
+let clear t =
+  Hashtbl.iter
+    (fun _ { timer; warning; _ } ->
+      Engine.Timer.stop timer;
+      Engine.Timer.stop warning)
+    t.slots;
+  Hashtbl.reset t.slots

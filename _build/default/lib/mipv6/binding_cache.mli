@@ -1,0 +1,59 @@
+(** Home-agent binding cache.
+
+    Maps a mobile node's home address to its current care-of address,
+    with lifetime expiry, sequence-number checks, and — following the
+    paper's proposal — the list of multicast groups carried by the
+    Multicast Group List Sub-Option of the registration's Binding
+    Update (section 4.3.2).  Callbacks let the home agent react to
+    binding creation/removal (claim or release the proxy address,
+    join or leave groups on the mobile node's behalf). *)
+
+open Ipv6
+
+type entry = {
+  home : Addr.t;
+  care_of : Addr.t;
+  sequence : int;
+  groups : Addr.t list;  (** from the Multicast Group List Sub-Option *)
+  registered_at : Engine.Time.t;
+  expires_at : Engine.Time.t;
+}
+
+type callbacks = {
+  added : entry -> unit;
+  refreshed : previous:entry -> entry -> unit;
+  removed : entry -> unit;  (** expiry or deregistration *)
+  expiring : entry -> unit;
+      (** Fired once when 75% of the lifetime has passed without a
+          refresh — the hook from which a home agent sends a Binding
+          Request (the draft's fourth destination option). *)
+}
+
+type t
+
+val create : Engine.Sim.t -> callbacks -> t
+
+(** Status codes returned in Binding Acknowledgements. *)
+
+val status_accepted : int
+val status_sequence_out_of_window : int
+
+val process_update :
+  t -> home:Addr.t -> Packet.binding_update -> (entry, int) result
+(** Apply a Binding Update for the given home address (from the Home
+    Address destination option of the packet carrying it).  A lifetime
+    of 0, or a care-of address equal to the home address, deregisters
+    the binding.  Returns the resulting entry or a rejection status.
+    Stale sequence numbers (lower than the cached one) are rejected. *)
+
+val lookup : t -> Addr.t -> entry option
+(** Live binding for a home address. *)
+
+val entries : t -> entry list
+(** Sorted by home address. *)
+
+val size : t -> int
+
+val clear : t -> unit
+(** Drop every binding without firing callbacks (power loss / crash
+    injection: RAM state vanishes, no graceful removal happens). *)

@@ -1,0 +1,21 @@
+type t = {
+  binding_lifetime : Engine.Time.t;
+  refresh_fraction : float;
+  ack_initial_timeout : Engine.Time.t;
+  ack_max_timeout : Engine.Time.t;
+  movement_detection_delay : Engine.Time.t;
+  request_ack : bool;
+}
+
+let default =
+  { binding_lifetime = 256.0;
+    refresh_fraction = 0.5;
+    ack_initial_timeout = 1.0;
+    ack_max_timeout = 256.0;
+    movement_detection_delay = 0.1;
+    request_ack = true }
+
+let pp ppf t =
+  Format.fprintf ppf "MIPv6{lifetime=%a refresh=%.2f detect=%a ack=%b}" Engine.Time.pp
+    t.binding_lifetime t.refresh_fraction Engine.Time.pp t.movement_detection_delay
+    t.request_ack

@@ -1,0 +1,26 @@
+(** Mobile IPv6 constants (draft-ietf-mobileip-ipv6-10 defaults as
+    quoted by the paper). *)
+
+type t = {
+  binding_lifetime : Engine.Time.t;
+      (** Requested binding lifetime.  The paper quotes the draft's
+          MAX_BINDACK_TIMEOUT = 256 s as the relevant default. *)
+  refresh_fraction : float;
+      (** The mobile node refreshes its binding after
+          [refresh_fraction * binding_lifetime].  Default 0.5. *)
+  ack_initial_timeout : Engine.Time.t;
+      (** First Binding Update retransmission timeout (draft:
+          INITIAL_BINDACK_TIMEOUT = 1 s); doubles per retry. *)
+  ack_max_timeout : Engine.Time.t;
+      (** Retransmission backoff cap (256 s). *)
+  movement_detection_delay : Engine.Time.t;
+      (** Time between physically attaching to a new link and having
+          detected the movement + autoconfigured a care-of address.
+          During this window a mobile sender still uses its old source
+          address — the trigger of the paper's unwanted-Assert
+          analysis (section 4.3.1).  Default 100 ms. *)
+  request_ack : bool;  (** Set the (A) bit and retransmit until acked. *)
+}
+
+val default : t
+val pp : Format.formatter -> t -> unit

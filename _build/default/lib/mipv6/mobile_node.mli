@@ -1,0 +1,63 @@
+(** Mobile-node side of Mobile IPv6.
+
+    Tracks the current care-of address, emits Binding Updates (with
+    retransmission until acknowledged and periodic refresh before the
+    lifetime runs out), and carries the paper's Multicast Group List
+    Sub-Option when the delivery approach requires the home agent to
+    subscribe on the node's behalf. *)
+
+open Ipv6
+
+type env = {
+  sim : Engine.Sim.t;
+  trace : Engine.Trace.t;
+  config : Mipv6_config.t;
+  send : Packet.t -> unit;
+      (** Transmit a signalling packet from the node's current
+          location. *)
+  label : string;
+}
+
+type t
+
+val create : env -> home_address:Addr.t -> home_agent:Addr.t -> t
+
+val home_address : t -> Addr.t
+val home_agent : t -> Addr.t
+
+val care_of : t -> Addr.t option
+(** [None] while at home. *)
+
+val is_registered : t -> bool
+(** An acknowledged, unexpired binding exists (or acks are disabled and
+    a Binding Update was sent). *)
+
+val set_advertised_groups : ?notify:bool -> t -> Addr.t list -> unit
+(** Groups to carry in the Multicast Group List Sub-Option of
+    subsequent Binding Updates.  With [notify] (default), a changed
+    list triggers an immediate refresh when away from home; pass
+    [~notify:false] right before {!attach_foreign} so the registration
+    Binding Update carries the groups without an extra message. *)
+
+val advertised_groups : t -> Addr.t list
+
+val attach_foreign : t -> care_of:Addr.t -> unit
+(** Movement has been detected and a care-of address formed: register
+    it with the home agent. *)
+
+val attach_home : t -> unit
+(** Back on the home link: deregister. *)
+
+val handle_ack : t -> Packet.binding_ack -> unit
+
+val refresh_now : t -> unit
+(** Re-register immediately (the response to a Binding Request); a
+    no-op at home. *)
+
+val sequence : t -> int
+(** Last used Binding Update sequence number. *)
+
+val binding_updates_sent : t -> int
+
+val stop : t -> unit
+(** Cancel timers (end of simulation). *)

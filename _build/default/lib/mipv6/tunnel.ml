@@ -1,0 +1,9 @@
+open Ipv6
+
+let home_agent_to_mobile ~home_agent ~care_of packet =
+  Packet.encapsulate ~src:home_agent ~dst:care_of packet
+
+let mobile_to_home_agent ~care_of ~home_agent inner =
+  Packet.encapsulate ~src:care_of ~dst:home_agent inner
+
+let overhead_bytes packet = Packet.header_size * Packet.tunnel_depth packet

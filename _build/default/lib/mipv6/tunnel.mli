@@ -1,0 +1,17 @@
+(** RFC 2473 tunnel helpers for the Mobile IPv6 data paths of the
+    paper's Figures 3 and 4. *)
+
+open Ipv6
+
+val home_agent_to_mobile : home_agent:Addr.t -> care_of:Addr.t -> Packet.t -> Packet.t
+(** Forward an intercepted packet to the mobile node (Figure 3
+    direction). *)
+
+val mobile_to_home_agent : care_of:Addr.t -> home_agent:Addr.t -> Packet.t -> Packet.t
+(** Reverse tunnel: the inner datagram keeps the home address as its
+    source; the outer source is the care-of address (Figure 4,
+    section 4.2.2 B). *)
+
+val overhead_bytes : Packet.t -> int
+(** Encapsulation overhead carried by a (possibly nested) tunnel
+    packet: 40 bytes per level. *)

@@ -1,0 +1,1 @@
+lib/mld/mld_config.mli: Engine Format

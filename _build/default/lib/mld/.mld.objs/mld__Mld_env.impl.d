@@ -1,0 +1,1 @@
+lib/mld/mld_env.ml: Addr Engine Ipv6 Mld_config Mld_message Packet

@@ -1,0 +1,1 @@
+lib/mld/mld_env.mli: Addr Engine Ipv6 Mld_config Packet

@@ -1,0 +1,1 @@
+lib/mld/mld_host.ml: Addr Engine Hashtbl Ipv6 List Mld_config Mld_env Mld_message

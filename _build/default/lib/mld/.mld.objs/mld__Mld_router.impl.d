@@ -1,0 +1,1 @@
+lib/mld/mld_router.ml: Addr Engine Hashtbl Ipv6 Lazy List Mld_config Mld_env Mld_message

@@ -1,0 +1,1 @@
+lib/mld/mld_router.mli: Addr Engine Ipv6 Mld_env Mld_message

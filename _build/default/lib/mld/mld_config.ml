@@ -1,0 +1,44 @@
+type t = {
+  query_interval : Engine.Time.t;
+  query_response_interval : Engine.Time.t;
+  last_listener_query_interval : Engine.Time.t;
+  robustness : int;
+  startup_query_count : int;
+  unsolicited_report_interval : Engine.Time.t;
+  unsolicited_report_count : int;
+}
+
+let default =
+  { query_interval = 125.0;
+    query_response_interval = 10.0;
+    last_listener_query_interval = 1.0;
+    robustness = 2;
+    startup_query_count = 2;
+    unsolicited_report_interval = 10.0;
+    unsolicited_report_count = 2 }
+
+let with_query_interval query_interval t =
+  if Engine.Time.compare query_interval t.query_response_interval < 0 then
+    invalid_arg
+      "Mld_config.with_query_interval: TQuery must not be smaller than TRespDel \
+       (paper, section 4.4 footnote)";
+  { t with query_interval }
+
+let multicast_listener_interval t =
+  Engine.Time.add
+    (float_of_int t.robustness *. t.query_interval)
+    t.query_response_interval
+
+let other_querier_present_interval t =
+  Engine.Time.add
+    (float_of_int t.robustness *. t.query_interval)
+    (t.query_response_interval /. 2.0)
+
+let startup_query_interval t = t.query_interval /. 4.0
+
+let pp ppf t =
+  Format.fprintf ppf
+    "MLD{TQuery=%a TRespDel=%a TMLI=%a robustness=%d unsolicited=%d}"
+    Engine.Time.pp t.query_interval Engine.Time.pp t.query_response_interval
+    Engine.Time.pp (multicast_listener_interval t) t.robustness
+    t.unsolicited_report_count

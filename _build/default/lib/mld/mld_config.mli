@@ -1,0 +1,49 @@
+(** MLD protocol timers and constants (RFC 2710, section 7).
+
+    The paper's Section 4.4 proposes lowering [query_interval] to
+    shorten the join and leave delays experienced by mobile receivers;
+    the timer-sweep experiment varies exactly this value. *)
+
+type t = {
+  query_interval : Engine.Time.t;
+      (** TQuery: interval between General Queries by the querier.
+          Default 125 s. *)
+  query_response_interval : Engine.Time.t;
+      (** TRespDel: maximum response delay inserted into General
+          Queries.  Default 10 s. *)
+  last_listener_query_interval : Engine.Time.t;
+      (** Max response delay for group-specific queries sent after a
+          Done.  Default 1 s. *)
+  robustness : int;  (** Expected packet-loss tolerance.  Default 2. *)
+  startup_query_count : int;
+      (** General Queries sent rapidly when a querier starts. *)
+  unsolicited_report_interval : Engine.Time.t;
+      (** Delay between the repeated unsolicited Reports sent on
+          join.  Default 10 s. *)
+  unsolicited_report_count : int;
+      (** How many unsolicited Reports a joining host sends
+          ([robustness] per RFC 2710; 0 disables them entirely, which
+          is the pessimistic configuration the paper warns about where
+          a mobile host waits for the next Query). *)
+}
+
+val default : t
+
+val with_query_interval : Engine.Time.t -> t -> t
+(** Also rescales nothing else: TRespDel stays, per the paper's
+    footnote the caller must keep [query_interval >=
+    query_response_interval].
+    @raise Invalid_argument when the constraint is violated. *)
+
+val multicast_listener_interval : t -> Engine.Time.t
+(** TMLI = robustness · TQuery + TRespDel (260 s with defaults): how
+    long a router remembers a listener without hearing Reports — the
+    paper's leave-delay bound. *)
+
+val other_querier_present_interval : t -> Engine.Time.t
+(** robustness · TQuery + TRespDel / 2. *)
+
+val startup_query_interval : t -> Engine.Time.t
+(** TQuery / 4. *)
+
+val pp : Format.formatter -> t -> unit

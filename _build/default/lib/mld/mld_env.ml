@@ -1,0 +1,29 @@
+open Ipv6
+
+type t = {
+  sim : Engine.Sim.t;
+  trace : Engine.Trace.t;
+  rng : Engine.Rng.t;
+  config : Mld_config.t;
+  local_address : unit -> Addr.t;
+  send : Packet.t -> unit;
+  label : string;
+}
+
+let make_query t ~group ~max_response_delay =
+  let dst =
+    match group with
+    | None -> Addr.all_nodes
+    | Some g -> g
+  in
+  let delay_ms = int_of_float (Engine.Time.milliseconds max_response_delay) in
+  Packet.make ~hop_limit:1 ~src:(t.local_address ()) ~dst
+    (Packet.Mld (Mld_message.Query { group; max_response_delay_ms = delay_ms }))
+
+let make_report t ~group =
+  Packet.make ~hop_limit:1 ~src:(t.local_address ()) ~dst:group
+    (Packet.Mld (Mld_message.Report { group }))
+
+let make_done t ~group =
+  Packet.make ~hop_limit:1 ~src:(t.local_address ()) ~dst:Addr.all_routers
+    (Packet.Mld (Mld_message.Done { group }))

@@ -1,0 +1,25 @@
+(** Execution environment handed to MLD state machines.
+
+    MLD is defined per interface; the node stack creates one
+    {!Mld_router.t} or {!Mld_host.t} per (node, link) attachment and
+    wires [send] to the link layer.  Keeping the environment abstract
+    makes the state machines unit-testable without a network. *)
+
+open Ipv6
+
+type t = {
+  sim : Engine.Sim.t;
+  trace : Engine.Trace.t;
+  rng : Engine.Rng.t;
+  config : Mld_config.t;
+  local_address : unit -> Addr.t;
+      (** Source address for emitted MLD messages (link-local for
+          routers; a host may use its care-of address, as the paper's
+          Approach A prescribes). *)
+  send : Packet.t -> unit;  (** Transmit on this interface (link scope). *)
+  label : string;  (** For traces, e.g. ["RouterD/Link4"]. *)
+}
+
+val make_query : t -> group:Addr.t option -> max_response_delay:Engine.Time.t -> Packet.t
+val make_report : t -> group:Addr.t -> Packet.t
+val make_done : t -> group:Addr.t -> Packet.t

@@ -1,0 +1,36 @@
+(** Host side of MLD, one instance per host interface.
+
+    Implements joining and leaving groups, unsolicited Reports on join
+    (the paper's recommended behaviour for mobile hosts — configurable
+    off to model the pessimistic wait-for-Query case), the randomized
+    response-delay timer with report suppression, and the
+    last-reporter flag governing Done messages.
+
+    Mobile hosts cannot send Done when they leave a {e link} (they are
+    already gone), which is the root of the paper's leave-delay
+    problem; the node stack simply calls {!stop} on handoff. *)
+
+open Ipv6
+
+type t
+
+val create : Mld_env.t -> t
+
+val join : t -> Addr.t -> unit
+(** Start listening; sends the configured number of unsolicited
+    Reports.  Idempotent for an already-joined group. *)
+
+val leave : t -> Addr.t -> unit
+(** Stop listening; sends Done if this host was the last reporter. *)
+
+val handle : t -> src:Addr.t -> Mld_message.t -> unit
+
+val stop : t -> unit
+(** Abandon the interface without any farewell messages (host moved
+    away). *)
+
+val joined : t -> Addr.t list
+val is_joined : t -> Addr.t -> bool
+
+val pending_response_at : t -> Addr.t -> Engine.Time.t option
+(** Expiry of the response-delay timer, if one is running (tests). *)

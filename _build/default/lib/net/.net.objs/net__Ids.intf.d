@@ -1,0 +1,1 @@
+lib/net/ids.mli: Format Map Set

@@ -1,0 +1,1 @@
+lib/net/network.ml: Addr Engine Hashtbl Ids Ipv6 List Option Packet Routing Topology

@@ -1,0 +1,1 @@
+lib/net/network.mli: Addr Engine Ids Ipv6 Packet Routing Topology

@@ -1,0 +1,1 @@
+lib/net/routing.ml: Hashtbl Ids List Queue Topology

@@ -1,0 +1,1 @@
+lib/net/topology.ml: Addr Engine Format Ids Int64 Ipv6 List Prefix Printf String

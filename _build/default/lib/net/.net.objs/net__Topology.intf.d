@@ -1,0 +1,1 @@
+lib/net/topology.mli: Addr Engine Ids Ipv6 Prefix

@@ -1,0 +1,149 @@
+open Ipv6
+module Node_id = Ids.Node_id
+module Link_id = Ids.Link_id
+
+type l2_dest =
+  | To_node of Node_id.t
+  | To_all
+
+type link_stats = {
+  packets : int;
+  bytes : int;
+  data_bytes : int;
+}
+
+let empty_stats = { packets = 0; bytes = 0; data_bytes = 0 }
+
+type t = {
+  sim : Engine.Sim.t;
+  topology : Topology.t;
+  routing : Routing.t;
+  trace : Engine.Trace.t;
+  handlers : (Node_id.t, link:Link_id.t -> from:Node_id.t -> Packet.t -> unit) Hashtbl.t;
+  owners : (Link_id.t * Addr.t, Node_id.t) Hashtbl.t;
+  mutable per_link : link_stats Link_id.Map.t;
+  mutable dropped : int;
+  mutable observers : (Link_id.t -> Packet.t -> unit) list;
+  loss_rates : (Link_id.t, float) Hashtbl.t;
+  loss_rng : Engine.Rng.t;
+  mutable lost : int;
+}
+
+let create sim topology =
+  { sim;
+    topology;
+    routing = Routing.create topology;
+    trace = Engine.Trace.create sim;
+    handlers = Hashtbl.create 32;
+    owners = Hashtbl.create 64;
+    per_link = Link_id.Map.empty;
+    dropped = 0;
+    observers = [];
+    loss_rates = Hashtbl.create 4;
+    loss_rng = Engine.Rng.split (Engine.Sim.rng sim);
+    lost = 0 }
+
+let sim t = t.sim
+let topology t = t.topology
+let routing t = t.routing
+let trace t = t.trace
+
+let set_handler t node f = Hashtbl.replace t.handlers node f
+
+let count t link packet =
+  let prev = Option.value ~default:empty_stats (Link_id.Map.find_opt link t.per_link) in
+  t.per_link <-
+    Link_id.Map.add link
+      { packets = prev.packets + 1;
+        bytes = prev.bytes + Packet.size packet;
+        data_bytes = prev.data_bytes + Packet.payload_data_bytes packet }
+      t.per_link
+
+let set_loss_rate t link rate =
+  if rate < 0.0 || rate > 1.0 then invalid_arg "Network.set_loss_rate: rate outside [0,1]";
+  Hashtbl.replace t.loss_rates link rate
+
+let loss_rate t link = Option.value ~default:0.0 (Hashtbl.find_opt t.loss_rates link)
+
+let losses t = t.lost
+
+let deliver t ~link ~from ~to_node packet =
+  (* Attachment is re-checked at delivery time: a node that moved away
+     while the frame was in flight misses it. *)
+  if Topology.is_attached t.topology to_node link then begin
+    let rate = loss_rate t link in
+    if rate > 0.0 && Engine.Rng.float t.loss_rng 1.0 < rate then t.lost <- t.lost + 1
+    else
+      match Hashtbl.find_opt t.handlers to_node with
+      | Some handler -> handler ~link ~from packet
+      | None -> ()
+  end
+
+let transmit t ~from ~link dest packet =
+  if not (Topology.is_attached t.topology from link) then begin
+    t.dropped <- t.dropped + 1;
+    Engine.Trace.recordf t.trace ~category:"link" "drop: %s not attached to %s"
+      (Topology.node_name t.topology from)
+      (Topology.link_name t.topology link)
+  end
+  else begin
+    count t link packet;
+    List.iter (fun observe -> observe link packet) t.observers;
+    (* Propagation plus serialization: the link's bandwidth turns the
+       packet size into transmission time. *)
+    let delay =
+      Engine.Time.add
+        (Topology.link_delay t.topology link)
+        (float_of_int (8 * Packet.size packet) /. Topology.link_bandwidth_bps t.topology link)
+    in
+    let targets =
+      match dest with
+      | To_node n -> [ n ]
+      | To_all ->
+        List.filter
+          (fun n -> not (Node_id.equal n from))
+          (Topology.nodes_on_link t.topology link)
+    in
+    List.iter
+      (fun to_node ->
+        ignore
+          (Engine.Sim.schedule_after t.sim delay (fun () ->
+               deliver t ~link ~from ~to_node packet)))
+      targets
+  end
+
+let claim_address t node ~link addr = Hashtbl.replace t.owners (link, addr) node
+
+let release_address t node ~link addr =
+  match Hashtbl.find_opt t.owners (link, addr) with
+  | Some owner when Node_id.equal owner node -> Hashtbl.remove t.owners (link, addr)
+  | Some _ | None -> ()
+
+let resolve t ~link addr = Hashtbl.find_opt t.owners (link, addr)
+
+let addresses_of t node =
+  Hashtbl.fold
+    (fun (link, addr) owner acc ->
+      if Node_id.equal owner node then (link, addr) :: acc else acc)
+    t.owners []
+  |> List.sort compare
+
+let link_stats t link =
+  Option.value ~default:empty_stats (Link_id.Map.find_opt link t.per_link)
+
+let total_stats t =
+  Link_id.Map.fold
+    (fun _ s acc ->
+      { packets = acc.packets + s.packets;
+        bytes = acc.bytes + s.bytes;
+        data_bytes = acc.data_bytes + s.data_bytes })
+    t.per_link empty_stats
+
+let drops t = t.dropped
+
+let add_transmit_observer t f = t.observers <- t.observers @ [ f ]
+
+let reset_stats t =
+  t.per_link <- Link_id.Map.empty;
+  t.dropped <- 0;
+  t.lost <- 0

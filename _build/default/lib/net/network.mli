@@ -1,0 +1,82 @@
+(** Link-layer packet delivery.
+
+    Links are multi-access (Ethernet-like): a frame is addressed either
+    to one attached node or to all of them.  IPv6 multicast and
+    link-scope control traffic (MLD, PIM) map to {!constructor-To_all};
+    routed unicast resolves the next hop to a node and uses
+    {!constructor-To_node}.
+
+    The network also keeps the address-ownership table.  Nodes claim
+    addresses on links (their autoconfigured address, a mobile host's
+    care-of address) and release them when they move away; a home agent
+    defending a mobile host's home address claims it as a proxy, which
+    is how interception of home-bound traffic is modelled.
+
+    Per-link counters record every transmitted packet and its size, and
+    an observer hook lets the metrics layer classify traffic without
+    the protocol code knowing about metrics. *)
+
+open Ipv6
+
+type t
+
+type l2_dest =
+  | To_node of Ids.Node_id.t
+  | To_all  (** every other node attached to the link *)
+
+type link_stats = {
+  packets : int;
+  bytes : int;
+  data_bytes : int;  (** application payload bytes (tunnels unwrapped) *)
+}
+
+val create : Engine.Sim.t -> Topology.t -> t
+
+val sim : t -> Engine.Sim.t
+val topology : t -> Topology.t
+val routing : t -> Routing.t
+val trace : t -> Engine.Trace.t
+
+val set_handler :
+  t -> Ids.Node_id.t -> (link:Ids.Link_id.t -> from:Ids.Node_id.t -> Packet.t -> unit) -> unit
+(** The node's receive callback.  At most one per node; setting again
+    replaces it. *)
+
+val transmit : t -> from:Ids.Node_id.t -> link:Ids.Link_id.t -> l2_dest -> Packet.t -> unit
+(** Put a packet on a link.  Delivery callbacks fire after the link's
+    propagation delay plus the serialization time
+    (8·bytes / bandwidth); nodes that detach in between miss the packet
+    (a handoff drops in-flight frames).  Transmitting from a detached
+    node is a silent drop, counted in {!drops}. *)
+
+val set_loss_rate : t -> Ids.Link_id.t -> float -> unit
+(** Failure injection: each delivery on the link is independently lost
+    with this probability (per receiver, so one multicast frame may
+    reach some listeners and miss others).  0 by default.
+    @raise Invalid_argument outside [0, 1]. *)
+
+val loss_rate : t -> Ids.Link_id.t -> float
+
+val losses : t -> int
+(** Deliveries suppressed by loss injection so far. *)
+
+val claim_address : t -> Ids.Node_id.t -> link:Ids.Link_id.t -> Addr.t -> unit
+(** Later claims replace earlier ones (a proxy claim by a home agent
+    can be superseded by the host returning home and re-claiming). *)
+
+val release_address : t -> Ids.Node_id.t -> link:Ids.Link_id.t -> Addr.t -> unit
+(** Releases only if the node is the current owner. *)
+
+val resolve : t -> link:Ids.Link_id.t -> Addr.t -> Ids.Node_id.t option
+(** Who answers for this address on this link (neighbour discovery). *)
+
+val addresses_of : t -> Ids.Node_id.t -> (Ids.Link_id.t * Addr.t) list
+
+val link_stats : t -> Ids.Link_id.t -> link_stats
+val total_stats : t -> link_stats
+val drops : t -> int
+
+val add_transmit_observer : t -> (Ids.Link_id.t -> Packet.t -> unit) -> unit
+(** Called synchronously on every transmit, before delivery. *)
+
+val reset_stats : t -> unit

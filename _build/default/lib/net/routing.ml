@@ -1,0 +1,122 @@
+module Node_id = Ids.Node_id
+module Link_id = Ids.Link_id
+
+type decision =
+  | Deliver_on_link of Link_id.t
+  | Forward of { out_link : Link_id.t; next_hop : Node_id.t }
+  | Unreachable
+
+(* Per-source BFS result: for every reachable link, its hop distance
+   and how it was discovered (previous link + the router joining them). *)
+type link_route = {
+  dist : int;
+  via : (Link_id.t * Node_id.t) option;  (* None for directly attached links *)
+}
+
+type table = link_route Link_id.Map.t
+
+type t = {
+  topology : Topology.t;
+  mutable cache_version : int;
+  cache : (Node_id.t, table) Hashtbl.t;
+}
+
+let create topology =
+  { topology; cache_version = Topology.version topology; cache = Hashtbl.create 32 }
+
+let compute_table topo ~from =
+  let queue = Queue.create () in
+  let table = ref Link_id.Map.empty in
+  let discover link route =
+    if not (Link_id.Map.mem link !table) then begin
+      table := Link_id.Map.add link route !table;
+      Queue.add link queue
+    end
+  in
+  List.iter (fun l -> discover l { dist = 0; via = None }) (Topology.links_of_node topo from);
+  while not (Queue.is_empty queue) do
+    let current = Queue.pop queue in
+    let { dist; _ } = Link_id.Map.find current !table in
+    (* Only routers forward between links, and the deciding node itself
+       is not a transit hop. *)
+    let transit =
+      List.filter
+        (fun r -> not (Node_id.equal r from))
+        (Topology.routers_on_link topo current)
+    in
+    List.iter
+      (fun router ->
+        List.iter
+          (fun next ->
+            if not (Link_id.equal next current) then
+              discover next { dist = dist + 1; via = Some (current, router) })
+          (Topology.links_of_node topo router))
+      transit
+  done;
+  !table
+
+let table t ~from =
+  let version = Topology.version t.topology in
+  if version <> t.cache_version then begin
+    Hashtbl.reset t.cache;
+    t.cache_version <- version
+  end;
+  match Hashtbl.find_opt t.cache from with
+  | Some table -> table
+  | None ->
+    let computed = compute_table t.topology ~from in
+    Hashtbl.add t.cache from computed;
+    computed
+
+let rec trace_path table link acc =
+  match Link_id.Map.find_opt link table with
+  | None -> None
+  | Some { via = None; _ } -> Some acc
+  | Some { via = Some (prev, router); _ } -> trace_path table prev ((link, router) :: acc)
+
+let distance_to_link t ~from link =
+  match Link_id.Map.find_opt link (table t ~from) with
+  | None -> None
+  | Some { dist; _ } -> Some dist
+
+let path_to_link t ~from link =
+  let tbl = table t ~from in
+  match Link_id.Map.find_opt link tbl with
+  | None -> None
+  | Some { via = None; _ } -> Some []
+  | Some _ -> (
+    (* [steps] pairs each traversed link with the router entering it;
+       the first step's predecessor is the attached link the path
+       leaves through. *)
+    match trace_path tbl link [] with
+    | None | Some [] -> None
+    | Some ((first_traversed, _) :: _ as steps) ->
+      let start =
+        match Link_id.Map.find_opt first_traversed tbl with
+        | Some { via = Some (prev, _); _ } -> prev
+        | Some { via = None; _ } | None -> first_traversed
+      in
+      Some (start :: List.map fst steps))
+
+let decide t ~at ~dst =
+  match Topology.link_of_address t.topology dst with
+  | None -> Unreachable
+  | Some dst_link ->
+    if Topology.is_attached t.topology at dst_link then Deliver_on_link dst_link
+    else
+      let tbl = table t ~from:at in
+      match trace_path tbl dst_link [] with
+      | None | Some [] -> Unreachable
+      | Some ((first_traversed, first_router) :: _) ->
+        let out_link =
+          match Link_id.Map.find_opt first_traversed tbl with
+          | Some { via = Some (prev, _); _ } -> prev
+          | Some { via = None; _ } | None -> first_traversed
+        in
+        Forward { out_link; next_hop = first_router }
+
+let rpf t ~at ~source =
+  match decide t ~at ~dst:source with
+  | Deliver_on_link l -> Some (l, None)
+  | Forward { out_link; next_hop } -> Some (out_link, Some next_hop)
+  | Unreachable -> None

@@ -1,0 +1,41 @@
+(** Unicast routing.
+
+    Shortest-path (hop count) routes computed over the router graph,
+    giving every node a route to every link prefix — the behaviour of an
+    intra-domain IGP.  Routes target {e links}, never hosts: a mobile
+    host's home address keeps routing to its home link wherever the host
+    is, which is exactly the property Mobile IPv6 exists to work
+    around.
+
+    Tables are cached and recomputed lazily when the topology version
+    changes.  Only routers forward, so paths traverse router nodes; a
+    host reaches off-link destinations through a router on its link. *)
+
+open Ipv6
+
+type t
+
+(** Result of a forwarding decision at a node. *)
+type decision =
+  | Deliver_on_link of Ids.Link_id.t
+      (** Destination's link is directly attached: deliver locally. *)
+  | Forward of { out_link : Ids.Link_id.t; next_hop : Ids.Node_id.t }
+      (** Send out [out_link] to the given router. *)
+  | Unreachable
+
+val create : Topology.t -> t
+
+val decide : t -> at:Ids.Node_id.t -> dst:Addr.t -> decision
+
+val distance_to_link : t -> from:Ids.Node_id.t -> Ids.Link_id.t -> int option
+(** Number of links traversed to reach the link (0 when attached). *)
+
+val path_to_link : t -> from:Ids.Node_id.t -> Ids.Link_id.t -> Ids.Link_id.t list option
+(** The link-level path, starting with the first out-link and ending
+    with the destination link; [Some []] when already attached. *)
+
+val rpf : t -> at:Ids.Node_id.t -> source:Addr.t ->
+  (Ids.Link_id.t * Ids.Node_id.t option) option
+(** PIM-DM reverse-path check: the interface this node uses to reach
+    [source] and the upstream router on it ([None] when the source's
+    link is directly attached). *)

@@ -1,0 +1,77 @@
+(** Network topology: nodes attached to multi-access links.
+
+    Links model IPv6 subnets: each carries a /64 prefix and a
+    propagation delay.  Node-to-link attachments change at runtime when
+    mobile hosts move; {!version} is bumped on every structural change
+    so that cached routing tables know to recompute.
+
+    Addressing follows stateless autoconfiguration: every node owns a
+    64-bit interface identifier, and its global address on a link is the
+    link prefix plus that identifier ({!address_on}); its link-local
+    address is [fe80::iid]. *)
+
+open Ipv6
+
+type t
+
+type node_kind = Router | Host
+
+val create : unit -> t
+
+val add_node : t -> name:string -> kind:node_kind -> Ids.Node_id.t
+(** Interface identifiers are assigned sequentially from 1. *)
+
+val add_link :
+  t ->
+  name:string ->
+  prefix:Prefix.t ->
+  ?delay:Engine.Time.t ->
+  ?bandwidth_bps:float ->
+  unit ->
+  Ids.Link_id.t
+(** Default delay 5 ms, default bandwidth 10 Mbit/s.
+    @raise Invalid_argument if the prefix is longer than /64 or reuses
+    an existing link's prefix. *)
+
+val nodes : t -> Ids.Node_id.t list
+val links : t -> Ids.Link_id.t list
+
+val node_name : t -> Ids.Node_id.t -> string
+val node_kind : t -> Ids.Node_id.t -> node_kind
+val interface_id : t -> Ids.Node_id.t -> int64
+val find_node_by_name : t -> string -> Ids.Node_id.t option
+
+val link_name : t -> Ids.Link_id.t -> string
+val link_prefix : t -> Ids.Link_id.t -> Prefix.t
+val link_delay : t -> Ids.Link_id.t -> Engine.Time.t
+val link_bandwidth_bps : t -> Ids.Link_id.t -> float
+val find_link_by_name : t -> string -> Ids.Link_id.t option
+
+val attach : t -> Ids.Node_id.t -> Ids.Link_id.t -> unit
+(** Idempotent. *)
+
+val detach : t -> Ids.Node_id.t -> Ids.Link_id.t -> unit
+(** Idempotent. *)
+
+val is_attached : t -> Ids.Node_id.t -> Ids.Link_id.t -> bool
+
+val nodes_on_link : t -> Ids.Link_id.t -> Ids.Node_id.t list
+(** Sorted by id. *)
+
+val routers_on_link : t -> Ids.Link_id.t -> Ids.Node_id.t list
+
+val links_of_node : t -> Ids.Node_id.t -> Ids.Link_id.t list
+(** Sorted by id. *)
+
+val address_on : t -> Ids.Node_id.t -> Ids.Link_id.t -> Addr.t
+(** Autoconfigured global address of a node on a link (the node need
+    not be attached; mobile hosts compute their prospective care-of
+    address this way). *)
+
+val link_local : t -> Ids.Node_id.t -> Addr.t
+
+val link_of_address : t -> Addr.t -> Ids.Link_id.t option
+(** The link whose prefix covers the address (prefixes are disjoint). *)
+
+val version : t -> int
+(** Incremented on every add/attach/detach. *)

@@ -1,0 +1,1 @@
+lib/pimdm/pim_config.mli: Engine Format

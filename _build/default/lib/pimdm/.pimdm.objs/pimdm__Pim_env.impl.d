@@ -1,0 +1,1 @@
+lib/pimdm/pim_env.ml: Addr Engine Ipv6 Packet Pim_config Pim_message

@@ -1,0 +1,1 @@
+lib/pimdm/pim_env.mli: Addr Engine Format Ipv6 Packet Pim_config Pim_message

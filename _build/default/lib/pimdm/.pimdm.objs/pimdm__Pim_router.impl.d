@@ -1,0 +1,1 @@
+lib/pimdm/pim_router.ml: Addr Engine Hashtbl Int Ipv6 Lazy List Packet Pim_config Pim_env Pim_message Printf

@@ -1,0 +1,1 @@
+lib/pimdm/pim_router.mli: Addr Ipv6 Packet Pim_env Pim_message

@@ -1,0 +1,32 @@
+type t = {
+  data_timeout : Engine.Time.t;
+  prune_delay : Engine.Time.t;
+  prune_holdtime : Engine.Time.t;
+  join_override_max : Engine.Time.t;
+  graft_retry : Engine.Time.t;
+  assert_time : Engine.Time.t;
+  hello_period : Engine.Time.t;
+  hello_holdtime : Engine.Time.t;
+  metric_preference : int;
+  state_refresh_interval : Engine.Time.t option;
+  flood_to_leaf_links : bool;
+}
+
+let default =
+  { data_timeout = 210.0;
+    prune_delay = 3.0;
+    prune_holdtime = 210.0;
+    join_override_max = 2.0;
+    graft_retry = 3.0;
+    assert_time = 180.0;
+    hello_period = 30.0;
+    hello_holdtime = 105.0;
+    metric_preference = 101;
+    state_refresh_interval = None;
+    flood_to_leaf_links = true }
+
+let pp ppf t =
+  Format.fprintf ppf
+    "PIM-DM{data-timeout=%a TPruneDel=%a holdtime=%a assert=%a leaf-flood=%b}"
+    Engine.Time.pp t.data_timeout Engine.Time.pp t.prune_delay Engine.Time.pp
+    t.prune_holdtime Engine.Time.pp t.assert_time t.flood_to_leaf_links

@@ -1,0 +1,44 @@
+(** PIM-DM protocol constants (draft-ietf-pim-v2-dm-03 defaults, which
+    are the values the paper quotes). *)
+
+type t = {
+  data_timeout : Engine.Time.t;
+      (** (S,G) state lifetime for a silent source.  Default 210 s
+          (paper, section 3.1). *)
+  prune_delay : Engine.Time.t;
+      (** TPruneDel: how long an upstream router waits before acting on
+          a Prune, giving other downstream routers on the LAN the
+          chance to send an overriding Join.  Default 3 s. *)
+  prune_holdtime : Engine.Time.t;
+      (** How long a pruned interface stays pruned before dense-mode
+          re-flooding resumes.  Default 210 s. *)
+  join_override_max : Engine.Time.t;
+      (** Random delay before a downstream router sends its overriding
+          Join; must stay below [prune_delay].  Default 2 s. *)
+  graft_retry : Engine.Time.t;
+      (** Retransmission interval for unacknowledged Grafts.
+          Default 3 s. *)
+  assert_time : Engine.Time.t;
+      (** Lifetime of assert-loser state.  Default 180 s. *)
+  hello_period : Engine.Time.t;  (** Default 30 s. *)
+  hello_holdtime : Engine.Time.t;  (** Default 105 s. *)
+  metric_preference : int;
+      (** Administrative distance advertised in Asserts.
+          Default 101. *)
+  state_refresh_interval : Engine.Time.t option;
+      (** The State-Refresh extension of later PIM-DM revisions: when
+          set, first-hop routers originate periodic State Refresh
+          messages that keep downstream prune state alive, eliminating
+          the prune-holdtime re-floods.  [None] (default, matching the
+          paper's draft-03 era) disables it. *)
+  flood_to_leaf_links : bool;
+      (** When true, the first datagram of a new (S,G) is also
+          forwarded onto links with neither PIM neighbours nor
+          listeners, matching the paper's description that the initial
+          flood reaches {e every} link; the interface is then locally
+          pruned.  When false (draft behaviour), such interfaces are
+          never in the outgoing list.  Default true. *)
+}
+
+val default : t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,717 @@
+open Ipv6
+
+type prune_state =
+  | Forwarding
+  | Prune_pending  (* TPruneDel window: still forwarding, waiting for Joins *)
+  | Pruned
+
+type oif = {
+  mutable prune : prune_state;
+  prune_timer : Engine.Timer.t;  (* pending->pruned, then pruned->forwarding *)
+  mutable assert_lost : (int * int * Addr.t) option;  (* winner pref, metric, addr *)
+  assert_timer : Engine.Timer.t;
+  mutable leaf_flooded : bool;
+}
+
+type upstream_state =
+  | Joined  (* default: expect data from upstream *)
+  | Pruned_up
+  | Grafting
+
+type entry = {
+  source : Addr.t;
+  group : Addr.t;
+  iif : Pim_env.iface;
+  rpf_upstream : Addr.t option;
+  metric : int;
+  mutable upstream : Addr.t option;  (* rpf choice, possibly assert-overridden *)
+  mutable iif_assert : (int * int * Addr.t) option;
+  iif_assert_timer : Engine.Timer.t;
+  oifs : (Pim_env.iface, oif) Hashtbl.t;
+  expiry : Engine.Timer.t;
+  mutable upstream_state : upstream_state;
+  graft_timer : Engine.Timer.t;
+  mutable last_prune_sent : Engine.Time.t option;
+  mutable join_override : Engine.Sim.handle option;
+  mutable refresh_timer : Engine.Timer.t option;  (* state-refresh origination *)
+}
+
+type t = {
+  env : Pim_env.t;
+  entries : (Addr.t * Addr.t, entry) Hashtbl.t;
+  neighbors : (Pim_env.iface * Addr.t, Engine.Timer.t) Hashtbl.t;
+  hello_timer : Engine.Timer.t;
+  mutable running : bool;
+}
+
+let trace t fmt = Pim_env.trace t.env fmt
+let config t = t.env.Pim_env.config
+let now t = Engine.Sim.now t.env.Pim_env.sim
+
+let sg entry = { Pim_message.source = entry.source; group = entry.group }
+
+(* ---- neighbours ---- *)
+
+let has_neighbors t iface =
+  Hashtbl.fold (fun (i, _) _ acc -> acc || i = iface) t.neighbors false
+
+let neighbors t ~iface =
+  Hashtbl.fold (fun (i, a) _ acc -> if i = iface then a :: acc else acc) t.neighbors []
+  |> List.sort Addr.compare
+
+let refresh_neighbor t iface addr ~holdtime =
+  match Hashtbl.find_opt t.neighbors (iface, addr) with
+  | Some timer -> Engine.Timer.start timer holdtime
+  | None ->
+    let timer =
+      Engine.Timer.create t.env.Pim_env.sim
+        ~name:(Printf.sprintf "%s.nbr.%d" t.env.Pim_env.label iface)
+        ~on_expire:(fun () -> Hashtbl.remove t.neighbors (iface, addr))
+    in
+    Hashtbl.replace t.neighbors (iface, addr) timer;
+    Engine.Timer.start timer holdtime;
+    trace t "neighbor %s on iface %d" (Addr.to_string addr) iface
+
+(* ---- hello ---- *)
+
+let send_hellos t =
+  let holdtime_s = int_of_float (Engine.Time.seconds (config t).Pim_config.hello_holdtime) in
+  List.iter
+    (fun iface -> t.env.Pim_env.send_message iface (Pim_message.Hello { holdtime_s }))
+    (t.env.Pim_env.interfaces ())
+
+(* ---- (S,G) entries ---- *)
+
+let entry_key source group = (source, group)
+
+let stop_entry_timers entry =
+  Engine.Timer.stop entry.expiry;
+  Engine.Timer.stop entry.graft_timer;
+  Engine.Timer.stop entry.iif_assert_timer;
+  (match entry.refresh_timer with
+   | Some timer -> Engine.Timer.stop timer
+   | None -> ());
+  Hashtbl.iter
+    (fun _ o ->
+      Engine.Timer.stop o.prune_timer;
+      Engine.Timer.stop o.assert_timer)
+    entry.oifs
+
+let delete_entry t entry =
+  stop_entry_timers entry;
+  (match entry.join_override with
+   | Some h -> Engine.Sim.cancel t.env.Pim_env.sim h
+   | None -> ());
+  Hashtbl.remove t.entries (entry_key entry.source entry.group);
+  trace t "(%s,%s) state expired" (Addr.to_string entry.source) (Addr.to_string entry.group)
+
+let make_oif t label =
+  let rec o =
+    lazy
+      { prune = Forwarding;
+        prune_timer =
+          Engine.Timer.create t.env.Pim_env.sim ~name:(label ^ ".prune")
+            ~on_expire:(fun () ->
+              let o = Lazy.force o in
+              match o.prune with
+              | Prune_pending ->
+                o.prune <- Pruned;
+                Engine.Timer.start o.prune_timer (config t).Pim_config.prune_holdtime
+              | Pruned -> o.prune <- Forwarding
+              | Forwarding -> ());
+        assert_lost = None;
+        assert_timer =
+          Engine.Timer.create t.env.Pim_env.sim ~name:(label ^ ".assert")
+            ~on_expire:(fun () -> (Lazy.force o).assert_lost <- None);
+        leaf_flooded = false }
+  in
+  Lazy.force o
+
+(* Send a State Refresh for the entry on every interface with PIM
+   neighbours (pruned ones included: that is how their prune state is
+   kept alive without data). *)
+let originate_state_refresh t entry ~interval =
+  Hashtbl.iter
+    (fun iface o ->
+      if o.assert_lost = None && has_neighbors t iface then
+        t.env.Pim_env.send_message iface
+          (Pim_message.State_refresh
+             { refresh_source = entry.source;
+               refresh_group = entry.group;
+               interval_s = int_of_float (Engine.Time.seconds interval);
+               prune_indicator = o.prune = Pruned }))
+    entry.oifs;
+  trace t "(%s,%s) state refresh originated" (Addr.to_string entry.source)
+    (Addr.to_string entry.group)
+
+let create_entry t ~source ~group (rpf : Pim_env.rpf_result) =
+  let label =
+    Printf.sprintf "%s.(%s,%s)" t.env.Pim_env.label (Addr.to_string source)
+      (Addr.to_string group)
+  in
+  let rec entry =
+    lazy
+      { source;
+        group;
+        iif = rpf.rpf_iface;
+        rpf_upstream = rpf.upstream;
+        metric = rpf.metric;
+        upstream = rpf.upstream;
+        iif_assert = None;
+        iif_assert_timer =
+          Engine.Timer.create t.env.Pim_env.sim ~name:(label ^ ".iif-assert")
+            ~on_expire:(fun () ->
+              let e = Lazy.force entry in
+              e.iif_assert <- None;
+              if e.upstream <> e.rpf_upstream then begin
+                e.upstream <- e.rpf_upstream;
+                e.last_prune_sent <- None;
+                if e.upstream_state = Pruned_up then e.upstream_state <- Joined
+              end);
+        oifs = Hashtbl.create 4;
+        expiry =
+          Engine.Timer.create t.env.Pim_env.sim ~name:(label ^ ".expiry")
+            ~on_expire:(fun () -> delete_entry t (Lazy.force entry));
+        upstream_state = Joined;
+        graft_timer =
+          Engine.Timer.create t.env.Pim_env.sim ~name:(label ^ ".graft")
+            ~on_expire:(fun () ->
+              let e = Lazy.force entry in
+              if e.upstream_state = Grafting then begin
+                (match e.upstream with
+                 | Some up ->
+                   t.env.Pim_env.send_message e.iif
+                     (Pim_message.Graft { upstream_neighbor = up; joins = [ sg e ] });
+                   trace t "(%s,%s) graft retransmitted" (Addr.to_string source)
+                     (Addr.to_string group)
+                 | None -> ());
+                Engine.Timer.start (Lazy.force entry).graft_timer
+                  (config t).Pim_config.graft_retry
+              end);
+        last_prune_sent = None;
+        join_override = None;
+        refresh_timer = None }
+  in
+  let entry = Lazy.force entry in
+  List.iter
+    (fun iface ->
+      if iface <> entry.iif then
+        Hashtbl.replace entry.oifs iface (make_oif t (Printf.sprintf "%s.oif%d" label iface)))
+    (t.env.Pim_env.interfaces ());
+  Hashtbl.replace t.entries (entry_key source group) entry;
+  Engine.Timer.start entry.expiry (config t).Pim_config.data_timeout;
+  (* First-hop routers originate State Refresh when the extension is
+     enabled. *)
+  (match ((config t).Pim_config.state_refresh_interval, rpf.upstream) with
+   | Some interval, None ->
+     let rec timer =
+       lazy
+         (Engine.Timer.create t.env.Pim_env.sim ~name:(label ^ ".refresh")
+            ~on_expire:(fun () ->
+              if t.running && Hashtbl.mem t.entries (entry_key source group) then begin
+                originate_state_refresh t entry ~interval;
+                Engine.Timer.start (Lazy.force timer) interval
+              end))
+     in
+     entry.refresh_timer <- Some (Lazy.force timer);
+     Engine.Timer.start (Lazy.force timer) interval
+   | (Some _ | None), _ -> ());
+  trace t "(%s,%s) state created, iif %d upstream %s" (Addr.to_string source)
+    (Addr.to_string group) entry.iif
+    (match entry.upstream with
+     | Some a -> Addr.to_string a
+     | None -> "direct");
+  entry
+
+let find_entry t ~source ~group = Hashtbl.find_opt t.entries (entry_key source group)
+
+let find_or_create_entry t ~source ~group =
+  match find_entry t ~source ~group with
+  | Some e -> Some e
+  | None -> (
+    match t.env.Pim_env.rpf ~source with
+    | None -> None
+    | Some rpf -> Some (create_entry t ~source ~group rpf))
+
+(* ---- forwarding decision ---- *)
+
+(* An interface carries (S,G) data when we won (or never contested) the
+   assert, and either a local MLD listener needs it, or downstream PIM
+   neighbours exist and have not pruned, or the leaf-flood of the first
+   datagram is still owed. *)
+let oif_would_forward t entry iface o =
+  o.assert_lost = None
+  && (t.env.Pim_env.has_local_members iface entry.group
+      ||
+      if has_neighbors t iface then o.prune <> Pruned
+      else
+        (config t).Pim_config.flood_to_leaf_links
+        && t.env.Pim_env.flood_eligible iface
+        && not o.leaf_flooded)
+
+let olist t entry =
+  Hashtbl.fold
+    (fun iface o acc -> if oif_would_forward t entry iface o then (iface, o) :: acc else acc)
+    entry.oifs []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
+(* ---- upstream prune / graft / join ---- *)
+
+let send_prune_upstream t entry =
+  match entry.upstream with
+  | None -> ()
+  | Some up ->
+    (* Having pruned, hold that state for the prune holdtime even if
+       data keeps flowing (another router's overriding Join, or local
+       members at the upstream, keep the LAN alive); re-pruning every
+       datagram would start a permanent prune/join fight. *)
+    let rate_limited =
+      match entry.last_prune_sent with
+      | None -> false
+      | Some at ->
+        Engine.Time.compare
+          (Engine.Time.sub (now t) at)
+          (config t).Pim_config.prune_holdtime
+        < 0
+    in
+    if not rate_limited then begin
+      let holdtime_s =
+        int_of_float (Engine.Time.seconds (config t).Pim_config.prune_holdtime)
+      in
+      t.env.Pim_env.send_message entry.iif
+        (Pim_message.Join_prune
+           { upstream_neighbor = up; holdtime_s; joins = []; prunes = [ sg entry ] });
+      entry.last_prune_sent <- Some (now t);
+      entry.upstream_state <- Pruned_up;
+      trace t "(%s,%s) pruned upstream via iface %d" (Addr.to_string entry.source)
+        (Addr.to_string entry.group) entry.iif
+    end
+
+let send_graft_upstream t entry =
+  match entry.upstream with
+  | None -> ()
+  | Some up ->
+    if entry.upstream_state <> Grafting then begin
+      entry.upstream_state <- Grafting;
+      t.env.Pim_env.send_message entry.iif
+        (Pim_message.Graft { upstream_neighbor = up; joins = [ sg entry ] });
+      Engine.Timer.start entry.graft_timer (config t).Pim_config.graft_retry;
+      trace t "(%s,%s) graft sent upstream" (Addr.to_string entry.source)
+        (Addr.to_string entry.group)
+    end
+
+let schedule_join_override t entry =
+  (* Another router pruned our upstream link but we still need the
+     traffic: answer with a Join within the TPruneDel window, after a
+     random delay so that one of several interested routers answers
+     first and the others suppress. *)
+  if entry.join_override = None then begin
+    let delay =
+      Engine.Rng.float t.env.Pim_env.rng
+        (Engine.Time.seconds (config t).Pim_config.join_override_max)
+    in
+    let handle =
+      Engine.Sim.schedule_after t.env.Pim_env.sim delay (fun () ->
+          entry.join_override <- None;
+          if t.running then
+            match entry.upstream with
+            | Some up ->
+              let holdtime_s =
+                int_of_float (Engine.Time.seconds (config t).Pim_config.prune_holdtime)
+              in
+              t.env.Pim_env.send_message entry.iif
+                (Pim_message.Join_prune
+                   { upstream_neighbor = up; holdtime_s; joins = [ sg entry ]; prunes = [] });
+              trace t "(%s,%s) join override sent" (Addr.to_string entry.source)
+                (Addr.to_string entry.group)
+            | None -> ())
+    in
+    entry.join_override <- Some handle
+  end
+
+let cancel_join_override t entry =
+  match entry.join_override with
+  | Some h ->
+    Engine.Sim.cancel t.env.Pim_env.sim h;
+    entry.join_override <- None
+  | None -> ()
+
+(* ---- data plane ---- *)
+
+let forward t entry packet =
+  let targets = olist t entry in
+  List.iter
+    (fun (iface, o) ->
+      if not (has_neighbors t iface) && not (t.env.Pim_env.has_local_members iface entry.group)
+      then o.leaf_flooded <- true;
+      t.env.Pim_env.forward_data iface packet)
+    targets;
+  if targets = [] then send_prune_upstream t entry
+
+let my_assert_metric t entry = ((config t).Pim_config.metric_preference, entry.metric)
+
+let send_assert t entry iface =
+  let pref, metric = my_assert_metric t entry in
+  t.env.Pim_env.send_message iface
+    (Pim_message.Assert
+       { group = entry.group; source = entry.source; metric_preference = pref; metric });
+  trace t "(%s,%s) assert sent on iface %d" (Addr.to_string entry.source)
+    (Addr.to_string entry.group) iface
+
+let handle_data t ~iface packet =
+  if t.running then begin
+    let source = packet.Packet.src and group = packet.Packet.dst in
+    match find_or_create_entry t ~source ~group with
+    | None ->
+      trace t "data from unroutable source %s dropped" (Addr.to_string source)
+    | Some entry ->
+      if iface = entry.iif then begin
+        Engine.Timer.start entry.expiry (config t).Pim_config.data_timeout;
+        forward t entry packet
+      end
+      else begin
+        (* Reverse-path failure: a datagram showed up on an interface we
+           forward onto, so another forwarder is active on that LAN —
+           start the Assert process (paper, section 3.1). *)
+        match Hashtbl.find_opt entry.oifs iface with
+        | Some o when oif_would_forward t entry iface o -> send_assert t entry iface
+        | Some _ | None -> ()
+      end
+  end
+
+(* ---- control plane ---- *)
+
+let local_addr t iface = t.env.Pim_env.local_address iface
+
+let handle_prune t ~iface ~upstream_neighbor entry =
+  let mine = Addr.equal upstream_neighbor (local_addr t iface) in
+  if mine then begin
+    match Hashtbl.find_opt entry.oifs iface with
+    | None -> ()
+    | Some o -> (
+      match o.prune with
+      | Forwarding ->
+        o.prune <- Prune_pending;
+        Engine.Timer.start o.prune_timer (config t).Pim_config.prune_delay;
+        trace t "(%s,%s) prune pending on iface %d (TPruneDel window)"
+          (Addr.to_string entry.source) (Addr.to_string entry.group) iface
+      | Pruned ->
+        (* A repeated Prune (e.g. answering a State Refresh) renews the
+           prune state instead of letting the holdtime re-flood. *)
+        Engine.Timer.start o.prune_timer (config t).Pim_config.prune_holdtime
+      | Prune_pending -> ())
+  end
+  else if
+    iface = entry.iif
+    && (match entry.upstream with
+        | Some up -> Addr.equal up upstream_neighbor
+        | None -> false)
+    && olist t entry <> []
+  then
+    (* Someone pruned the link we depend on: override. *)
+    schedule_join_override t entry
+
+let handle_join t ~iface ~upstream_neighbor entry =
+  let mine = Addr.equal upstream_neighbor (local_addr t iface) in
+  if mine then begin
+    match Hashtbl.find_opt entry.oifs iface with
+    | None -> ()
+    | Some o ->
+      if o.prune <> Forwarding then begin
+        o.prune <- Forwarding;
+        Engine.Timer.stop o.prune_timer;
+        trace t "(%s,%s) join cancels prune on iface %d" (Addr.to_string entry.source)
+          (Addr.to_string entry.group) iface
+      end
+  end
+  else if
+    iface = entry.iif
+    && (match entry.upstream with
+        | Some up -> Addr.equal up upstream_neighbor
+        | None -> false)
+  then
+    (* Another router's Join keeps the traffic flowing; ours would be
+       redundant. *)
+    cancel_join_override t entry
+
+let handle_graft t ~iface ~src ~upstream_neighbor joins =
+  if Addr.equal upstream_neighbor (local_addr t iface) then begin
+    let grafted =
+      List.filter_map
+        (fun { Pim_message.source; group } ->
+          match find_entry t ~source ~group with
+          | None -> None
+          | Some entry -> (
+            match Hashtbl.find_opt entry.oifs iface with
+            | None -> None
+            | Some o ->
+              o.prune <- Forwarding;
+              Engine.Timer.stop o.prune_timer;
+              o.leaf_flooded <- false;
+              trace t "(%s,%s) grafted iface %d" (Addr.to_string source)
+                (Addr.to_string group) iface;
+              (* Cascade: if we had pruned ourselves off, rejoin. *)
+              if entry.upstream_state = Pruned_up then send_graft_upstream t entry;
+              Some { Pim_message.source; group }))
+        joins
+    in
+    if grafted <> [] then
+      t.env.Pim_env.send_message iface
+        (Pim_message.Graft_ack { upstream_neighbor = src; joins = grafted })
+  end
+
+let handle_graft_ack t ~iface ~upstream_neighbor joins =
+  if Addr.equal upstream_neighbor (local_addr t iface) then
+    List.iter
+      (fun { Pim_message.source; group } ->
+        match find_entry t ~source ~group with
+        | Some entry when entry.upstream_state = Grafting ->
+          entry.upstream_state <- Joined;
+          Engine.Timer.stop entry.graft_timer;
+          trace t "(%s,%s) graft acknowledged" (Addr.to_string source) (Addr.to_string group)
+        | Some _ | None -> ())
+      joins
+
+(* Assert comparison: lower preference wins, then lower metric, then
+   the higher address (draft-ietf-pim-v2-dm-03 section 3.5). *)
+let assert_beats (pref_a, metric_a, addr_a) (pref_b, metric_b, addr_b) =
+  if pref_a <> pref_b then pref_a < pref_b
+  else if metric_a <> metric_b then metric_a < metric_b
+  else Addr.compare addr_a addr_b > 0
+
+let handle_assert t ~iface ~src ~group ~source ~metric_preference ~metric =
+  match find_entry t ~source ~group with
+  | None -> ()
+  | Some entry ->
+    let theirs = (metric_preference, metric, src) in
+    if iface = entry.iif then begin
+      (* Forwarder election on our upstream link: remember the winner
+         so Prunes/Grafts/Joins target the elected forwarder. *)
+      let better =
+        match entry.iif_assert with
+        | None -> true
+        | Some current -> assert_beats theirs current
+      in
+      if better then begin
+        let changed =
+          match entry.upstream with
+          | Some up -> not (Addr.equal up src)
+          | None -> true
+        in
+        entry.iif_assert <- Some theirs;
+        entry.upstream <- Some src;
+        Engine.Timer.start entry.iif_assert_timer (config t).Pim_config.assert_time;
+        (* A Prune sent to the previous upstream never reached the
+           elected forwarder: allow an immediate re-prune toward the
+           winner. *)
+        if changed then begin
+          entry.last_prune_sent <- None;
+          if entry.upstream_state = Pruned_up then entry.upstream_state <- Joined
+        end;
+        trace t "(%s,%s) assert winner %s is new upstream" (Addr.to_string source)
+          (Addr.to_string group) (Addr.to_string src)
+      end
+    end
+    else begin
+      match Hashtbl.find_opt entry.oifs iface with
+      | None -> ()
+      | Some o ->
+        if o.assert_lost = None && oif_would_forward t entry iface o then begin
+          let pref, my_metric = my_assert_metric t entry in
+          let mine = (pref, my_metric, local_addr t iface) in
+          if assert_beats theirs mine then begin
+            o.assert_lost <- Some theirs;
+            Engine.Timer.start o.assert_timer (config t).Pim_config.assert_time;
+            trace t "(%s,%s) lost assert on iface %d to %s" (Addr.to_string source)
+              (Addr.to_string group) iface (Addr.to_string src)
+          end
+          else
+            (* We win: answer so the loser stands down. *)
+            send_assert t entry iface
+        end
+    end
+
+(* Receiving a State Refresh on the reverse-path interface renews the
+   (S,G) state and every pruned-branch timer, then propagates it
+   downstream — the re-flood suppression of the extension. *)
+let handle_state_refresh t ~iface ~refresh_source ~refresh_group ~interval_s
+    ~prune_indicator =
+  match find_entry t ~source:refresh_source ~group:refresh_group with
+  | None -> ()
+  | Some entry ->
+    if iface = entry.iif then begin
+      Engine.Timer.start entry.expiry (config t).Pim_config.data_timeout;
+      let needs_traffic = olist t entry <> [] in
+      if not needs_traffic then begin
+        (* A pruned downstream router answers the refresh by renewing
+           its Prune, which keeps the upstream branch pruned (RFC
+           3973-style behaviour). *)
+        if entry.upstream_state = Pruned_up then begin
+          entry.last_prune_sent <- None;
+          send_prune_upstream t entry
+        end
+      end
+      else if prune_indicator then begin
+        (* The upstream believes this branch is pruned but we still
+           have receivers — a Join or Graft was lost somewhere.
+           Recover with a Graft (RFC 3973's prune-indicator rule). *)
+        entry.upstream_state <- Pruned_up;
+        send_graft_upstream t entry
+      end;
+      Hashtbl.iter
+        (fun oif_iface o ->
+          (match o.prune with
+           | Pruned ->
+             (* Keep the branch pruned instead of letting the holdtime
+                re-flood it. *)
+             Engine.Timer.start o.prune_timer (config t).Pim_config.prune_holdtime
+           | Forwarding | Prune_pending -> ());
+          if o.assert_lost = None && has_neighbors t oif_iface then
+            t.env.Pim_env.send_message oif_iface
+              (Pim_message.State_refresh
+                 { refresh_source;
+                   refresh_group;
+                   interval_s;
+                   prune_indicator = o.prune = Pruned }))
+        entry.oifs
+    end
+
+let handle_message t ~iface ~src msg =
+  if t.running then
+    match (msg : Pim_message.t) with
+    | Hello { holdtime_s } ->
+      refresh_neighbor t iface src ~holdtime:(float_of_int holdtime_s)
+    | Join_prune { upstream_neighbor; joins; prunes; holdtime_s = _ } ->
+      List.iter
+        (fun { Pim_message.source; group } ->
+          match find_entry t ~source ~group with
+          | Some entry -> handle_prune t ~iface ~upstream_neighbor entry
+          | None -> ())
+        prunes;
+      List.iter
+        (fun { Pim_message.source; group } ->
+          match find_entry t ~source ~group with
+          | Some entry -> handle_join t ~iface ~upstream_neighbor entry
+          | None -> ())
+        joins
+    | Graft { upstream_neighbor; joins } -> handle_graft t ~iface ~src ~upstream_neighbor joins
+    | Graft_ack { upstream_neighbor; joins } -> handle_graft_ack t ~iface ~upstream_neighbor joins
+    | Assert { group; source; metric_preference; metric } ->
+      handle_assert t ~iface ~src ~group ~source ~metric_preference ~metric
+    | State_refresh { refresh_source; refresh_group; interval_s; prune_indicator } ->
+      handle_state_refresh t ~iface ~refresh_source ~refresh_group ~interval_s
+        ~prune_indicator
+
+let local_members_changed t ~iface ~group ~present =
+  if t.running && present then
+    (* A listener appeared: re-attach every (S,G) of the group whose
+       upstream we pruned away (the Graft case of section 3.1). *)
+    Hashtbl.iter
+      (fun (_, g) entry ->
+        if Addr.equal g group && iface <> entry.iif then begin
+          (match Hashtbl.find_opt entry.oifs iface with
+           | Some o -> o.leaf_flooded <- false
+           | None -> ());
+          if entry.upstream_state = Pruned_up then send_graft_upstream t entry
+        end)
+      t.entries
+(* A disappearing listener needs no action here: the next datagram
+   recomputes the outgoing list and triggers the upstream Prune, which
+   is exactly the leave-delay behaviour the paper analyses. *)
+
+let interface_added t ~iface =
+  Hashtbl.iter
+    (fun (source, group) entry ->
+      if iface <> entry.iif && not (Hashtbl.mem entry.oifs iface) then
+        Hashtbl.replace entry.oifs iface
+          (make_oif t
+             (Printf.sprintf "%s.(%s,%s).oif%d" t.env.Pim_env.label (Addr.to_string source)
+                (Addr.to_string group) iface)))
+    t.entries
+
+(* ---- lifecycle ---- *)
+
+let create env =
+  let rec t =
+    lazy
+      { env;
+        entries = Hashtbl.create 8;
+        neighbors = Hashtbl.create 8;
+        hello_timer =
+          Engine.Timer.create env.Pim_env.sim ~name:(env.Pim_env.label ^ ".hello")
+            ~on_expire:(fun () ->
+              let t = Lazy.force t in
+              if t.running then begin
+                send_hellos t;
+                Engine.Timer.start t.hello_timer (config t).Pim_config.hello_period
+              end);
+        running = false }
+  in
+  Lazy.force t
+
+let start t =
+  t.running <- true;
+  send_hellos t;
+  Engine.Timer.start t.hello_timer (config t).Pim_config.hello_period
+
+let stop t =
+  t.running <- false;
+  Engine.Timer.stop t.hello_timer;
+  Hashtbl.iter (fun _ timer -> Engine.Timer.stop timer) t.neighbors;
+  Hashtbl.reset t.neighbors;
+  let all = Hashtbl.fold (fun _ e acc -> e :: acc) t.entries [] in
+  List.iter
+    (fun e ->
+      stop_entry_timers e;
+      cancel_join_override t e)
+    all;
+  Hashtbl.reset t.entries
+
+(* ---- introspection ---- *)
+
+type oif_info = {
+  oif : Pim_env.iface;
+  forwarding : bool;
+  pruned : bool;
+  assert_lost : bool;
+}
+
+type entry_info = {
+  source : Addr.t;
+  group : Addr.t;
+  iif : Pim_env.iface;
+  upstream : Addr.t option;
+  oifs : oif_info list;
+}
+
+let entries t =
+  Hashtbl.fold (fun key _ acc -> key :: acc) t.entries []
+  |> List.sort (fun (s1, g1) (s2, g2) ->
+         match Addr.compare s1 s2 with
+         | 0 -> Addr.compare g1 g2
+         | c -> c)
+
+let entry_info t ~source ~group =
+  match find_entry t ~source ~group with
+  | None -> None
+  | Some entry ->
+    let oifs =
+      Hashtbl.fold
+        (fun iface o acc ->
+          { oif = iface;
+            forwarding = oif_would_forward t entry iface o;
+            pruned = o.prune = Pruned;
+            assert_lost = o.assert_lost <> None }
+          :: acc)
+        entry.oifs []
+      |> List.sort (fun a b -> Int.compare a.oif b.oif)
+    in
+    Some { source; group; iif = entry.iif; upstream = entry.upstream; oifs }
+
+let is_forwarding t ~source ~group ~iface =
+  match find_entry t ~source ~group with
+  | None -> false
+  | Some entry -> (
+    match Hashtbl.find_opt entry.oifs iface with
+    | None -> false
+    | Some o -> oif_would_forward t entry iface o)

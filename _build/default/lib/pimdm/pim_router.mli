@@ -1,0 +1,75 @@
+(** PIM Dense Mode router (draft-ietf-pim-v2-dm-03 subset).
+
+    Implements the broadcast-and-prune algorithm the paper describes in
+    Section 3.1:
+
+    {ul
+    {- (S,G) state created on arrival of the first datagram, with the
+       reverse-path interface as incoming interface and a data timeout
+       (210 s) after which silent state is deleted;}
+    {- flooding to all interfaces with PIM neighbours or MLD listeners
+       (optionally also to empty leaf links for the first datagram, see
+       {!Pim_config.t.flood_to_leaf_links});}
+    {- Prunes from downstream routers, held for the Prune Delay Time
+       TPruneDel so that other routers on the LAN can override with a
+       Join;}
+    {- Grafts (with Graft-Ack and retransmission) to re-attach pruned
+       branches when a listener appears, cascading upstream;}
+    {- the Assert process electing a single forwarder per LAN when a
+       datagram is received on an outgoing interface.}}
+
+    One instance per router; interfaces are the small integers of
+    {!Pim_env.iface}. *)
+
+open Ipv6
+
+type t
+
+val create : Pim_env.t -> t
+
+val start : t -> unit
+(** Send initial Hellos and begin periodic ones. *)
+
+val stop : t -> unit
+
+val handle_message : t -> iface:Pim_env.iface -> src:Addr.t -> Pim_message.t -> unit
+
+val handle_data : t -> iface:Pim_env.iface -> Packet.t -> unit
+(** Process a multicast data packet received on an interface.  The
+    packet's source/destination define the (S,G) pair. *)
+
+val local_members_changed : t -> iface:Pim_env.iface -> group:Addr.t -> present:bool -> unit
+(** MLD notification hook (listener appeared / disappeared on a
+    link). *)
+
+val interface_added : t -> iface:Pim_env.iface -> unit
+(** A new interface appeared after (S,G) state already existed (a home
+    agent's virtual tunnel interface): add it to the outgoing lists of
+    existing entries.  Idempotent. *)
+
+(** Introspection for tests and for drawing distribution trees. *)
+
+type oif_info = {
+  oif : Pim_env.iface;
+  forwarding : bool;  (** would data be replicated here right now? *)
+  pruned : bool;
+  assert_lost : bool;
+}
+
+type entry_info = {
+  source : Addr.t;
+  group : Addr.t;
+  iif : Pim_env.iface;
+  upstream : Addr.t option;
+  oifs : oif_info list;
+}
+
+val entries : t -> (Addr.t * Addr.t) list
+(** Live (S,G) pairs, sorted. *)
+
+val entry_info : t -> source:Addr.t -> group:Addr.t -> entry_info option
+
+val neighbors : t -> iface:Pim_env.iface -> Addr.t list
+(** Live PIM neighbours on an interface, sorted. *)
+
+val is_forwarding : t -> source:Addr.t -> group:Addr.t -> iface:Pim_env.iface -> bool

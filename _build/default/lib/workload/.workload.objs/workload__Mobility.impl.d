@@ -1,0 +1,1 @@
+lib/workload/mobility.ml: Array Engine Ids List Mmcast Net Network Topology

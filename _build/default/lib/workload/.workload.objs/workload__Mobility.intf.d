@@ -1,0 +1,1 @@
+lib/workload/mobility.mli: Engine Ids Mmcast Net

@@ -1,0 +1,1 @@
+lib/workload/topo_gen.ml: Array Engine List Mmcast Printf

@@ -1,0 +1,64 @@
+open Net
+module Scenario = Mmcast.Scenario
+module Host_stack = Mmcast.Host_stack
+
+let link_by_name scenario name = Scenario.link scenario name
+
+let script scenario host moves =
+  List.iter
+    (fun (time, link_name) ->
+      let link = link_by_name scenario link_name in
+      ignore
+        (Engine.Sim.schedule_at scenario.Scenario.sim time (fun () ->
+             Host_stack.move_to host link)))
+    moves
+
+type random_walk = { mutable walk_moves : int }
+
+let random_walk scenario host ~rng ~links ~dwell_mean ~from_t ~until =
+  let sim = scenario.Scenario.sim in
+  let state = { walk_moves = 0 } in
+  let link_ids = Array.of_list (List.map (link_by_name scenario) links) in
+  let rec hop () =
+    if Engine.Time.compare (Engine.Sim.now sim) until < 0 then begin
+      let current = Host_stack.current_link host in
+      let candidates =
+        Array.of_list
+          (List.filter
+             (fun l -> not (Ids.Link_id.equal l current))
+             (Array.to_list link_ids))
+      in
+      if Array.length candidates > 0 then begin
+        Host_stack.move_to host (Engine.Rng.pick rng candidates);
+        state.walk_moves <- state.walk_moves + 1
+      end;
+      schedule_next ()
+    end
+  and schedule_next () =
+    let dwell = Engine.Rng.exponential rng (Engine.Time.seconds dwell_mean) in
+    ignore (Engine.Sim.schedule_after sim dwell hop)
+  in
+  ignore (Engine.Sim.schedule_at sim from_t schedule_next);
+  state
+
+let round_robin scenario host ~links ~period ~from_t ~until =
+  let link_ids = Array.of_list (List.map (link_by_name scenario) links) in
+  let n = Array.length link_ids in
+  if n = 0 then invalid_arg "Mobility.round_robin: no links";
+  let rec nth k =
+    let time = Engine.Time.add from_t (float_of_int k *. period) in
+    if Engine.Time.compare time until < 0 then begin
+      ignore
+        (Engine.Sim.schedule_at scenario.Scenario.sim time (fun () ->
+             Host_stack.move_to host link_ids.(k mod n)));
+      nth (k + 1)
+    end
+  in
+  nth 0
+
+let links_of scenario host =
+  let topo = Network.topology scenario.Scenario.net in
+  let current = Host_stack.current_link host in
+  Topology.links topo
+  |> List.filter (fun l -> not (Ids.Link_id.equal l current))
+  |> List.map (Topology.link_name topo)

@@ -1,0 +1,40 @@
+(** Mobility models driving mobile-host handoffs. *)
+
+open Net
+
+val script : Mmcast.Scenario.t -> Mmcast.Host_stack.t -> (Engine.Time.t * string) list -> unit
+(** [script scenario host moves] schedules each [(time, link_name)]
+    handoff. *)
+
+type random_walk = {
+  mutable walk_moves : int;  (** handoffs performed so far *)
+}
+
+val random_walk :
+  Mmcast.Scenario.t ->
+  Mmcast.Host_stack.t ->
+  rng:Engine.Rng.t ->
+  links:string list ->
+  dwell_mean:Engine.Time.t ->
+  from_t:Engine.Time.t ->
+  until:Engine.Time.t ->
+  random_walk
+(** The host dwells an Exp(dwell_mean)-distributed time on each link,
+    then hops to a uniformly chosen different link of [links].  This is
+    the "highly mobile host" regime of the paper's conclusions. *)
+
+val round_robin :
+  Mmcast.Scenario.t ->
+  Mmcast.Host_stack.t ->
+  links:string list ->
+  period:Engine.Time.t ->
+  from_t:Engine.Time.t ->
+  until:Engine.Time.t ->
+  unit
+(** Deterministic cycling through [links] every [period]. *)
+
+val links_of : Mmcast.Scenario.t -> Mmcast.Host_stack.t -> string list
+(** Names of all links of the scenario's topology except the host's
+    current link — convenient candidates for a walk. *)
+
+val link_by_name : Mmcast.Scenario.t -> string -> Ids.Link_id.t

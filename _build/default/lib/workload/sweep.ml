@@ -1,0 +1,22 @@
+let over values ~f = List.map (fun v -> (v, f v)) values
+
+let repeated ~trials ~f =
+  if trials <= 0 then invalid_arg "Sweep.repeated: trials must be positive";
+  let samples = List.init trials (fun trial -> f ~trial) in
+  let mean = List.fold_left ( +. ) 0.0 samples /. float_of_int trials in
+  let mn = List.fold_left Float.min infinity samples in
+  let mx = List.fold_left Float.max neg_infinity samples in
+  (mean, mn, mx)
+
+let geometric ~lo ~hi ~steps =
+  if steps < 2 then [ lo ]
+  else if lo <= 0.0 then invalid_arg "Sweep.geometric: lo must be positive"
+  else
+    let ratio = (hi /. lo) ** (1.0 /. float_of_int (steps - 1)) in
+    List.init steps (fun i -> lo *. (ratio ** float_of_int i))
+
+let linear ~lo ~hi ~steps =
+  if steps < 2 then [ lo ]
+  else
+    let step = (hi -. lo) /. float_of_int (steps - 1) in
+    List.init steps (fun i -> lo +. (float_of_int i *. step))

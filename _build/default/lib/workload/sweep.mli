@@ -1,0 +1,13 @@
+(** Parameter-sweep scaffolding for experiments. *)
+
+val over : 'a list -> f:('a -> 'b) -> ('a * 'b) list
+(** Run [f] for every parameter value, pairing inputs with results. *)
+
+val repeated : trials:int -> f:(trial:int -> float) -> float * float * float
+(** [repeated ~trials ~f] runs [f] for trials 0..n-1 and returns
+    (mean, min, max). *)
+
+val geometric : lo:float -> hi:float -> steps:int -> float list
+(** Geometrically spaced values from [lo] to [hi] inclusive. *)
+
+val linear : lo:float -> hi:float -> steps:int -> float list

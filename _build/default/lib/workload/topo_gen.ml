@@ -1,0 +1,52 @@
+module Scenario = Mmcast.Scenario
+
+let stub_prefix i = Printf.sprintf "2001:db8:100:%x::/64" i
+let backbone_prefix i = Printf.sprintf "2001:db8:200:%x::/64" i
+let cross_prefix i = Printf.sprintf "2001:db8:300:%x::/64" i
+
+let build ?(seed = 7) ?(spec = Scenario.default_spec) ~routers ~cross ~hosts () =
+  if routers < 1 then invalid_arg "Topo_gen: need at least one router";
+  if hosts < 0 then invalid_arg "Topo_gen: negative host count";
+  let rng = Engine.Rng.create seed in
+  (* Stub link per router, backbone link per non-root router. *)
+  let stub i = Printf.sprintf "S%d" i in
+  let backbone i = Printf.sprintf "B%d" i in
+  let links =
+    List.init routers (fun i -> (stub i, stub_prefix i))
+    @ List.init (max 0 (routers - 1)) (fun i -> (backbone i, backbone_prefix i))
+    @ List.init cross (fun i -> (Printf.sprintf "X%d" i, cross_prefix i))
+  in
+  (* Router i > 0 hangs off the backbone link owned by a random earlier
+     router; the owner is attached to it too. *)
+  let attachments = Array.make routers [] in
+  for i = 0 to routers - 1 do
+    attachments.(i) <- [ stub i ]
+  done;
+  for i = 1 to routers - 1 do
+    let parent = Engine.Rng.int rng i in
+    attachments.(i) <- backbone (i - 1) :: attachments.(i);
+    attachments.(parent) <- backbone (i - 1) :: attachments.(parent)
+  done;
+  for x = 0 to cross - 1 do
+    if routers >= 2 then begin
+      let a = Engine.Rng.int rng routers in
+      let b = (a + 1 + Engine.Rng.int rng (routers - 1)) mod routers in
+      let name = Printf.sprintf "X%d" x in
+      attachments.(a) <- name :: attachments.(a);
+      attachments.(b) <- name :: attachments.(b)
+    end
+  done;
+  let router_specs =
+    List.init routers (fun i ->
+        (Printf.sprintf "N%d" i, List.rev attachments.(i), [ stub i ]))
+  in
+  let host_specs =
+    List.init hosts (fun h ->
+        (Printf.sprintf "H%d" h, stub (Engine.Rng.int rng routers)))
+  in
+  Scenario.build spec ~links ~routers:router_specs ~hosts:host_specs
+
+let random_tree ?seed ?spec ~routers ~hosts () = build ?seed ?spec ~routers ~cross:0 ~hosts ()
+
+let random_mesh ?seed ?spec ~routers ~extra_links ~hosts () =
+  build ?seed ?spec ~routers ~cross:extra_links ~hosts ()

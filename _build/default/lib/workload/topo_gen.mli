@@ -1,0 +1,29 @@
+(** Random topology generation for stress tests and scaling
+    experiments beyond the paper's six-link reference network. *)
+
+val random_tree :
+  ?seed:int ->
+  ?spec:Mmcast.Scenario.spec ->
+  routers:int ->
+  hosts:int ->
+  unit ->
+  Mmcast.Scenario.t
+(** A random router tree: router 0 is the root; router [i] attaches to
+    the backbone link of a uniformly chosen earlier router.  Each
+    router also owns a stub link (its home-agent link); every host is
+    homed on a uniformly chosen stub link.  Hosts are named ["H0"],
+    ["H1"], ...; routers ["N0"]...; stub links ["S0"]...; backbone
+    links ["B0"]....
+    @raise Invalid_argument if [routers < 1] or [hosts < 0]. *)
+
+val random_mesh :
+  ?seed:int ->
+  ?spec:Mmcast.Scenario.spec ->
+  routers:int ->
+  extra_links:int ->
+  hosts:int ->
+  unit ->
+  Mmcast.Scenario.t
+(** Like {!random_tree} but with [extra_links] additional cross links,
+    each joining two distinct random routers — redundancy that
+    exercises the Assert election. *)

@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Array Engine Event_queue Float Format Fun List Option QCheck QCheck_alcotest Rng Sim Stats String Time Timer Trace

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Addr Alcotest Approach Bytes Codec Host_stack Ipv6 List Metrics Mipv6 Mmcast Nd_message Net Packet Pim_message Pimdm Prefix Printf Router_stack Scenario Traffic Workload

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Approach Comparison Engine Host_stack Ipv6 List Metrics Mipv6 Mld Mmcast Pimdm Router_stack Scenario Tree

@@ -1,0 +1,1 @@
+test/test_ipv6.ml: Addr Alcotest Bytes Char Codec Format Hexdump Ipv6 List Mld_message Nd_message Option Packet Pim_message Prefix QCheck QCheck_alcotest String

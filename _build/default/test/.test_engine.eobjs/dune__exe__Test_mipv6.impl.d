@@ -1,0 +1,1 @@
+test/test_mipv6.ml: Addr Alcotest Engine Ipv6 List Mipv6 Packet QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_mld.ml: Addr Alcotest Engine Hashtbl Ipv6 List Mld Mld_message Packet Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_net.ml: Addr Alcotest Array Engine Format Ids Int64 Ipv6 List Net Network Option Packet Prefix Printf QCheck QCheck_alcotest Routing String Topology

@@ -1,0 +1,1 @@
+test/test_pimdm.ml: Addr Alcotest Engine Hashtbl Int Ipv6 List Packet Pim_message Pimdm QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Engine Host_stack List Mmcast Net Option QCheck QCheck_alcotest Scenario Traffic Workload

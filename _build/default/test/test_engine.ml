@@ -1,0 +1,447 @@
+(* Unit and property tests for the simulation engine. *)
+
+open Engine
+
+let time_tests =
+  [ Alcotest.test_case "arithmetic" `Quick (fun () ->
+        Alcotest.(check (float 1e-9)) "add" 3.5 (Time.add 1.5 2.0);
+        Alcotest.(check (float 1e-9)) "sub" 1.0 (Time.sub 3.0 2.0);
+        Alcotest.(check (float 1e-9)) "ms" 0.25 (Time.of_milliseconds 250.0);
+        Alcotest.(check (float 1e-9)) "to ms" 1500.0 (Time.milliseconds 1.5));
+    Alcotest.test_case "pretty printing" `Quick (fun () ->
+        Alcotest.(check string) "ms" "350.0ms" (Time.to_string 0.35);
+        Alcotest.(check string) "s" "12.500s" (Time.to_string 12.5);
+        Alcotest.(check string) "min" "4m20.0s" (Time.to_string 260.0))
+  ]
+
+let event_queue_tests =
+  [ Alcotest.test_case "orders by time" `Quick (fun () ->
+        let q = Event_queue.create () in
+        ignore (Event_queue.push q 3.0 "c");
+        ignore (Event_queue.push q 1.0 "a");
+        ignore (Event_queue.push q 2.0 "b");
+        let popped = List.init 3 (fun _ -> Option.get (Event_queue.pop q)) in
+        Alcotest.(check (list (pair (float 1e-9) string)))
+          "sorted" [ (1.0, "a"); (2.0, "b"); (3.0, "c") ] popped);
+    Alcotest.test_case "fifo at equal time" `Quick (fun () ->
+        let q = Event_queue.create () in
+        ignore (Event_queue.push q 1.0 "first");
+        ignore (Event_queue.push q 1.0 "second");
+        ignore (Event_queue.push q 1.0 "third");
+        let order = List.init 3 (fun _ -> snd (Option.get (Event_queue.pop q))) in
+        Alcotest.(check (list string)) "insertion order" [ "first"; "second"; "third" ] order);
+    Alcotest.test_case "cancel removes event" `Quick (fun () ->
+        let q = Event_queue.create () in
+        let h = Event_queue.push q 1.0 "dead" in
+        ignore (Event_queue.push q 2.0 "alive");
+        Event_queue.cancel q h;
+        Alcotest.(check int) "size after cancel" 1 (Event_queue.size q);
+        Alcotest.(check (option (pair (float 1e-9) string)))
+          "skips cancelled" (Some (2.0, "alive")) (Event_queue.pop q));
+    Alcotest.test_case "cancel after pop is harmless" `Quick (fun () ->
+        let q = Event_queue.create () in
+        let h = Event_queue.push q 1.0 "x" in
+        ignore (Event_queue.pop q);
+        Event_queue.cancel q h;
+        Event_queue.cancel q h;
+        Alcotest.(check int) "still empty" 0 (Event_queue.size q);
+        ignore (Event_queue.push q 2.0 "y");
+        Alcotest.(check int) "new push counted" 1 (Event_queue.size q));
+    Alcotest.test_case "peek_time" `Quick (fun () ->
+        let q = Event_queue.create () in
+        Alcotest.(check (option (float 1e-9))) "empty" None (Event_queue.peek_time q);
+        let h = Event_queue.push q 5.0 "x" in
+        ignore (Event_queue.push q 7.0 "y");
+        Alcotest.(check (option (float 1e-9))) "min" (Some 5.0) (Event_queue.peek_time q);
+        Event_queue.cancel q h;
+        Alcotest.(check (option (float 1e-9)))
+          "min after cancel" (Some 7.0) (Event_queue.peek_time q))
+  ]
+
+let event_queue_properties =
+  let sorted_pop_matches_sort =
+    QCheck.Test.make ~name:"pop sequence is sorted by time then insertion"
+      ~count:200
+      QCheck.(list (float_bound_inclusive 1000.0))
+      (fun times ->
+        let q = Event_queue.create () in
+        List.iteri (fun i t -> ignore (Event_queue.push q t i)) times;
+        let rec drain acc =
+          match Event_queue.pop q with
+          | None -> List.rev acc
+          | Some (t, i) -> drain ((t, i) :: acc)
+        in
+        let popped = drain [] in
+        let expected =
+          List.mapi (fun i t -> (t, i)) times
+          |> List.stable_sort (fun (t1, _) (t2, _) -> Float.compare t1 t2)
+        in
+        popped = expected)
+  in
+  let cancel_any_subset =
+    QCheck.Test.make ~name:"cancelled events never surface" ~count:200
+      QCheck.(list (pair (float_bound_inclusive 100.0) bool))
+      (fun entries ->
+        let q = Event_queue.create () in
+        let handles =
+          List.map (fun (t, cancel_it) -> (Event_queue.push q t cancel_it, cancel_it)) entries
+        in
+        List.iter (fun (h, cancel_it) -> if cancel_it then Event_queue.cancel q h) handles;
+        let rec drain acc =
+          match Event_queue.pop q with
+          | None -> acc
+          | Some (_, was_marked) -> drain (was_marked :: acc)
+        in
+        List.for_all not (drain []))
+  in
+  List.map QCheck_alcotest.to_alcotest [ sorted_pop_matches_sort; cancel_any_subset ]
+
+let sim_tests =
+  [ Alcotest.test_case "clock advances to event times" `Quick (fun () ->
+        let sim = Sim.create () in
+        let seen = ref [] in
+        ignore (Sim.schedule_at sim 2.0 (fun () -> seen := (Sim.now sim, "b") :: !seen));
+        ignore (Sim.schedule_at sim 1.0 (fun () -> seen := (Sim.now sim, "a") :: !seen));
+        Sim.run sim;
+        Alcotest.(check (list (pair (float 1e-9) string)))
+          "order and clock" [ (1.0, "a"); (2.0, "b") ] (List.rev !seen));
+    Alcotest.test_case "schedule_after is relative" `Quick (fun () ->
+        let sim = Sim.create () in
+        let fired_at = ref (-1.0) in
+        ignore
+          (Sim.schedule_at sim 10.0 (fun () ->
+               ignore (Sim.schedule_after sim 5.0 (fun () -> fired_at := Sim.now sim))));
+        Sim.run sim;
+        Alcotest.(check (float 1e-9)) "10 + 5" 15.0 !fired_at);
+    Alcotest.test_case "schedule in the past rejected" `Quick (fun () ->
+        let sim = Sim.create () in
+        ignore (Sim.schedule_at sim 10.0 (fun () -> ()));
+        Sim.run sim;
+        Alcotest.check_raises "past" (Invalid_argument
+          "Sim.schedule_at: 5 is in the past (now 10)")
+          (fun () -> ignore (Sim.schedule_at sim 5.0 (fun () -> ()))));
+    Alcotest.test_case "run ~until stops and advances clock" `Quick (fun () ->
+        let sim = Sim.create () in
+        let count = ref 0 in
+        ignore (Sim.schedule_at sim 1.0 (fun () -> incr count));
+        ignore (Sim.schedule_at sim 100.0 (fun () -> incr count));
+        Sim.run ~until:50.0 sim;
+        Alcotest.(check int) "only first fired" 1 !count;
+        Alcotest.(check (float 1e-9)) "clock at bound" 50.0 (Sim.now sim);
+        Sim.run sim;
+        Alcotest.(check int) "second fires later" 2 !count);
+    Alcotest.test_case "run ~until with empty queue advances clock" `Quick (fun () ->
+        let sim = Sim.create () in
+        Sim.run ~until:30.0 sim;
+        Alcotest.(check (float 1e-9)) "clock" 30.0 (Sim.now sim));
+    Alcotest.test_case "cancel prevents execution" `Quick (fun () ->
+        let sim = Sim.create () in
+        let fired = ref false in
+        let h = Sim.schedule_at sim 1.0 (fun () -> fired := true) in
+        Sim.cancel sim h;
+        Sim.run sim;
+        Alcotest.(check bool) "not fired" false !fired);
+    Alcotest.test_case "max_events guard" `Quick (fun () ->
+        let sim = Sim.create () in
+        (* A self-rescheduling event would run forever without the guard. *)
+        let rec tick () = ignore (Sim.schedule_after sim 1.0 tick) in
+        ignore (Sim.schedule_after sim 1.0 tick);
+        Sim.run ~max_events:25 sim;
+        Alcotest.(check int) "stopped at budget" 25 (Sim.events_executed sim))
+  ]
+
+let timer_tests =
+  [ Alcotest.test_case "fires once after duration" `Quick (fun () ->
+        let sim = Sim.create () in
+        let fired = ref [] in
+        let t = Timer.create sim ~name:"t" ~on_expire:(fun () -> fired := Sim.now sim :: !fired) in
+        Timer.start t 5.0;
+        Sim.run sim;
+        Alcotest.(check (list (float 1e-9))) "once at 5" [ 5.0 ] !fired);
+    Alcotest.test_case "restart replaces expiry" `Quick (fun () ->
+        let sim = Sim.create () in
+        let fired = ref [] in
+        let t = Timer.create sim ~name:"t" ~on_expire:(fun () -> fired := Sim.now sim :: !fired) in
+        Timer.start t 5.0;
+        ignore (Sim.schedule_at sim 3.0 (fun () -> Timer.start t 5.0));
+        Sim.run sim;
+        Alcotest.(check (list (float 1e-9))) "only the restarted expiry" [ 8.0 ] !fired);
+    Alcotest.test_case "stop disarms" `Quick (fun () ->
+        let sim = Sim.create () in
+        let fired = ref false in
+        let t = Timer.create sim ~name:"t" ~on_expire:(fun () -> fired := true) in
+        Timer.start t 5.0;
+        Alcotest.(check bool) "armed" true (Timer.is_armed t);
+        Timer.stop t;
+        Alcotest.(check bool) "disarmed" false (Timer.is_armed t);
+        Sim.run sim;
+        Alcotest.(check bool) "never fired" false !fired);
+    Alcotest.test_case "remaining and expiry" `Quick (fun () ->
+        let sim = Sim.create () in
+        let t = Timer.create sim ~name:"t" ~on_expire:(fun () -> ()) in
+        Alcotest.(check (option (float 1e-9))) "disarmed remaining" None (Timer.remaining t);
+        ignore
+          (Sim.schedule_at sim 2.0 (fun () ->
+               Timer.start t 10.0));
+        ignore
+          (Sim.schedule_at sim 7.0 (fun () ->
+               Alcotest.(check (option (float 1e-9))) "expiry" (Some 12.0) (Timer.expiry t);
+               Alcotest.(check (option (float 1e-9))) "remaining" (Some 5.0) (Timer.remaining t)));
+        Sim.run sim);
+    Alcotest.test_case "restart from inside callback" `Quick (fun () ->
+        let sim = Sim.create () in
+        let count = ref 0 in
+        let t = ref None in
+        let timer =
+          Timer.create sim ~name:"periodic" ~on_expire:(fun () ->
+              incr count;
+              if !count < 3 then Timer.start (Option.get !t) 2.0)
+        in
+        t := Some timer;
+        Timer.start timer 2.0;
+        Sim.run sim;
+        Alcotest.(check int) "three firings" 3 !count;
+        Alcotest.(check (float 1e-9)) "ends at 6" 6.0 (Sim.now sim))
+  ]
+
+let rng_tests =
+  [ Alcotest.test_case "deterministic from seed" `Quick (fun () ->
+        let a = Rng.create 7 and b = Rng.create 7 in
+        let sa = List.init 32 (fun _ -> Rng.bits64 a) in
+        let sb = List.init 32 (fun _ -> Rng.bits64 b) in
+        Alcotest.(check bool) "identical streams" true (sa = sb));
+    Alcotest.test_case "different seeds differ" `Quick (fun () ->
+        let a = Rng.create 1 and b = Rng.create 2 in
+        Alcotest.(check bool) "diverge" false
+          (List.init 8 (fun _ -> Rng.bits64 a) = List.init 8 (fun _ -> Rng.bits64 b)));
+    Alcotest.test_case "split yields independent stream" `Quick (fun () ->
+        let a = Rng.create 7 in
+        let child = Rng.split a in
+        Alcotest.(check bool) "diverge" false
+          (List.init 8 (fun _ -> Rng.bits64 a) = List.init 8 (fun _ -> Rng.bits64 child)));
+    Alcotest.test_case "copy preserves state" `Quick (fun () ->
+        let a = Rng.create 3 in
+        ignore (Rng.bits64 a);
+        let b = Rng.copy a in
+        Alcotest.(check bool) "same continuation" true
+          (List.init 8 (fun _ -> Rng.bits64 a) = List.init 8 (fun _ -> Rng.bits64 b)))
+  ]
+
+let rng_properties =
+  let int_in_bounds =
+    QCheck.Test.make ~name:"int stays within bound" ~count:500
+      QCheck.(pair small_int (int_range 1 1000))
+      (fun (seed, bound) ->
+        let rng = Rng.create seed in
+        List.for_all
+          (fun _ ->
+            let v = Rng.int rng bound in
+            v >= 0 && v < bound)
+          (List.init 50 Fun.id))
+  in
+  let float_in_bounds =
+    QCheck.Test.make ~name:"float stays within bound" ~count:500
+      QCheck.(pair small_int (float_bound_inclusive 1000.0))
+      (fun (seed, bound) ->
+        let rng = Rng.create seed in
+        List.for_all
+          (fun _ ->
+            let v = Rng.float rng bound in
+            v >= 0.0 && (bound = 0.0 || v < bound))
+          (List.init 50 Fun.id))
+  in
+  let exponential_positive =
+    QCheck.Test.make ~name:"exponential draws are positive" ~count:200
+      QCheck.(pair small_int (float_range 0.001 100.0))
+      (fun (seed, mean) ->
+        let rng = Rng.create seed in
+        List.for_all (fun _ -> Rng.exponential rng mean > 0.0) (List.init 20 Fun.id))
+  in
+  let shuffle_is_permutation =
+    QCheck.Test.make ~name:"shuffle permutes" ~count:200
+      QCheck.(pair small_int (list small_int))
+      (fun (seed, items) ->
+        let rng = Rng.create seed in
+        let arr = Array.of_list items in
+        Rng.shuffle rng arr;
+        List.sort compare (Array.to_list arr) = List.sort compare items)
+  in
+  List.map QCheck_alcotest.to_alcotest
+    [ int_in_bounds; float_in_bounds; exponential_positive; shuffle_is_permutation ]
+
+let stats_tests =
+  [ Alcotest.test_case "counter" `Quick (fun () ->
+        let c = Stats.Counter.create ~name:"c" () in
+        Stats.Counter.incr c;
+        Stats.Counter.incr ~by:5 c;
+        Alcotest.(check int) "value" 6 (Stats.Counter.value c);
+        Stats.Counter.reset c;
+        Alcotest.(check int) "reset" 0 (Stats.Counter.value c));
+    Alcotest.test_case "summary statistics" `Quick (fun () ->
+        let s = Stats.Summary.create () in
+        List.iter (Stats.Summary.add s) [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ];
+        Alcotest.(check int) "count" 8 (Stats.Summary.count s);
+        Alcotest.(check (float 1e-9)) "mean" 5.0 (Stats.Summary.mean s);
+        Alcotest.(check (float 1e-9)) "stddev" 2.0 (Stats.Summary.stddev s);
+        Alcotest.(check (float 1e-9)) "min" 2.0 (Stats.Summary.min s);
+        Alcotest.(check (float 1e-9)) "max" 9.0 (Stats.Summary.max s);
+        Alcotest.(check (float 1e-9)) "median" 4.0 (Stats.Summary.percentile s 0.5));
+    Alcotest.test_case "summary empty" `Quick (fun () ->
+        let s = Stats.Summary.create () in
+        Alcotest.(check (float 1e-9)) "mean of empty" 0.0 (Stats.Summary.mean s);
+        Alcotest.check_raises "min of empty" (Invalid_argument "Summary.min: empty")
+          (fun () -> ignore (Stats.Summary.min s)));
+    Alcotest.test_case "histogram bins" `Quick (fun () ->
+        let h = Stats.Histogram.create ~bin_width:10.0 () in
+        List.iter (Stats.Histogram.add h) [ 0.0; 5.0; 9.99; 10.0; 25.0 ];
+        Alcotest.(check (list (pair (float 1e-9) int)))
+          "bins" [ (0.0, 3); (10.0, 1); (20.0, 1) ] (Stats.Histogram.bins h));
+    Alcotest.test_case "timeline integral" `Quick (fun () ->
+        let sim = Sim.create () in
+        let tl = Stats.Timeline.create sim ~initial:0.0 in
+        ignore (Sim.schedule_at sim 10.0 (fun () -> Stats.Timeline.set tl 2.0));
+        ignore (Sim.schedule_at sim 20.0 (fun () -> Stats.Timeline.set tl 0.0));
+        Sim.run ~until:40.0 sim;
+        (* 2.0 for 10 seconds. *)
+        Alcotest.(check (float 1e-9)) "integral" 20.0 (Stats.Timeline.integral tl);
+        Alcotest.(check (float 1e-9)) "time average" 0.5 (Stats.Timeline.time_average tl));
+    Alcotest.test_case "timeline add is relative" `Quick (fun () ->
+        let sim = Sim.create () in
+        let tl = Stats.Timeline.create sim ~initial:1.0 in
+        Stats.Timeline.add tl 2.5;
+        Alcotest.(check (float 1e-9)) "current" 3.5 (Stats.Timeline.current tl);
+        Stats.Timeline.add tl (-3.5);
+        Alcotest.(check (float 1e-9)) "back to zero" 0.0 (Stats.Timeline.current tl))
+  ]
+
+let stats_extra_tests =
+  [ Alcotest.test_case "timeline steps record change points" `Quick (fun () ->
+        let sim = Sim.create () in
+        let tl = Stats.Timeline.create sim ~initial:1.0 in
+        ignore (Sim.schedule_at sim 5.0 (fun () -> Stats.Timeline.set tl 3.0));
+        ignore (Sim.schedule_at sim 9.0 (fun () -> Stats.Timeline.set tl 3.0));
+        ignore (Sim.schedule_at sim 12.0 (fun () -> Stats.Timeline.set tl 0.5));
+        Sim.run sim;
+        (* Setting the same value is not a step. *)
+        Alcotest.(check (list (pair (float 1e-9) (float 1e-9))))
+          "steps" [ (0.0, 1.0); (5.0, 3.0); (12.0, 0.5) ]
+          (Stats.Timeline.steps tl));
+    Alcotest.test_case "summary percentiles across the range" `Quick (fun () ->
+        let s = Stats.Summary.create () in
+        for i = 1 to 100 do
+          Stats.Summary.add s (float_of_int i)
+        done;
+        Alcotest.(check (float 1e-9)) "p01" 1.0 (Stats.Summary.percentile s 0.01);
+        Alcotest.(check (float 1e-9)) "p50" 50.0 (Stats.Summary.percentile s 0.5);
+        Alcotest.(check (float 1e-9)) "p99" 99.0 (Stats.Summary.percentile s 0.99);
+        Alcotest.(check (float 1e-9)) "p100" 100.0 (Stats.Summary.percentile s 1.0));
+    Alcotest.test_case "summary pp and samples" `Quick (fun () ->
+        let s = Stats.Summary.create ~name:"lat" () in
+        List.iter (Stats.Summary.add s) [ 3.0; 1.0; 2.0 ];
+        Alcotest.(check (list (float 1e-9))) "insertion order" [ 3.0; 1.0; 2.0 ]
+          (Stats.Summary.samples s);
+        let text = Format.asprintf "%a" Stats.Summary.pp s in
+        Alcotest.(check bool) "mentions name" true
+          (String.length text >= 3 && String.sub text 0 3 = "lat"));
+    Alcotest.test_case "histogram rejects bad input" `Quick (fun () ->
+        (match Stats.Histogram.create ~bin_width:0.0 () with
+         | _ -> Alcotest.fail "zero width accepted"
+         | exception Invalid_argument _ -> ());
+        let h = Stats.Histogram.create ~bin_width:1.0 () in
+        match Stats.Histogram.add h (-1.0) with
+        | _ -> Alcotest.fail "negative accepted"
+        | exception Invalid_argument _ -> ())
+  ]
+
+let trace_tests =
+  [ Alcotest.test_case "records carry time and category" `Quick (fun () ->
+        let sim = Sim.create () in
+        let tr = Trace.create sim in
+        ignore (Sim.schedule_at sim 3.0 (fun () -> Trace.record tr ~category:"mld" "report"));
+        ignore (Sim.schedule_at sim 5.0 (fun () -> Trace.recordf tr ~category:"pim" "graft %d" 7));
+        Sim.run sim;
+        match Trace.records tr with
+        | [ a; b ] ->
+          Alcotest.(check (float 1e-9)) "t1" 3.0 a.Trace.at;
+          Alcotest.(check string) "cat1" "mld" a.Trace.category;
+          Alcotest.(check string) "msg2" "graft 7" b.Trace.message
+        | other -> Alcotest.failf "expected 2 records, got %d" (List.length other));
+    Alcotest.test_case "filtering and counting" `Quick (fun () ->
+        let sim = Sim.create () in
+        let tr = Trace.create sim in
+        Trace.record tr ~category:"a" "1";
+        Trace.record tr ~category:"b" "2";
+        Trace.record tr ~category:"a" "3";
+        Alcotest.(check int) "total" 3 (Trace.count tr);
+        Alcotest.(check int) "only a" 2 (Trace.count ~category:"a" tr);
+        Alcotest.(check (list string)) "messages of a" [ "1"; "3" ]
+          (List.map (fun r -> r.Trace.message) (Trace.by_category tr "a")));
+    Alcotest.test_case "disabled trace drops records" `Quick (fun () ->
+        let sim = Sim.create () in
+        let tr = Trace.create ~enabled:false sim in
+        Trace.record tr ~category:"x" "dropped";
+        Alcotest.(check int) "empty" 0 (Trace.count tr);
+        Trace.set_enabled tr true;
+        Trace.record tr ~category:"x" "kept";
+        Alcotest.(check int) "one" 1 (Trace.count tr))
+  ]
+
+let odds_and_ends =
+  [ Alcotest.test_case "sim step and pending" `Quick (fun () ->
+        let sim = Sim.create () in
+        let hits = ref 0 in
+        ignore (Sim.schedule_at sim 1.0 (fun () -> incr hits));
+        ignore (Sim.schedule_at sim 2.0 (fun () -> incr hits));
+        Alcotest.(check int) "two pending" 2 (Sim.pending sim);
+        Alcotest.(check bool) "step executes one" true (Sim.step sim);
+        Alcotest.(check int) "one executed" 1 !hits;
+        Alcotest.(check int) "one pending" 1 (Sim.pending sim);
+        ignore (Sim.step sim);
+        Alcotest.(check bool) "empty queue" false (Sim.step sim));
+    Alcotest.test_case "rng error paths" `Quick (fun () ->
+        let rng = Rng.create 1 in
+        (match Rng.uniform rng 5.0 1.0 with
+         | _ -> Alcotest.fail "hi < lo accepted"
+         | exception Invalid_argument _ -> ());
+        (match Rng.pick rng [||] with
+         | _ -> Alcotest.fail "empty pick accepted"
+         | exception Invalid_argument _ -> ());
+        (match Rng.exponential rng 0.0 with
+         | _ -> Alcotest.fail "zero mean accepted"
+         | exception Invalid_argument _ -> ());
+        match Rng.int rng 0 with
+        | _ -> Alcotest.fail "zero bound accepted"
+        | exception Invalid_argument _ -> ());
+    Alcotest.test_case "trace clear and pp" `Quick (fun () ->
+        let sim = Sim.create () in
+        let tr = Trace.create sim in
+        Trace.record tr ~category:"x" "hello";
+        let text = Format.asprintf "%a" Trace.pp tr in
+        Alcotest.(check bool) "pp shows the record" true (String.length text > 5);
+        Trace.clear tr;
+        Alcotest.(check int) "cleared" 0 (Trace.count tr));
+    Alcotest.test_case "timer name accessor" `Quick (fun () ->
+        let sim = Sim.create () in
+        let t = Timer.create sim ~name:"my-timer" ~on_expire:(fun () -> ()) in
+        Alcotest.(check string) "name" "my-timer" (Timer.name t));
+    Alcotest.test_case "time helpers" `Quick (fun () ->
+        Alcotest.(check bool) "lt" true (Time.( <. ) 1.0 2.0);
+        Alcotest.(check bool) "le" true (Time.( <=. ) 2.0 2.0);
+        Alcotest.(check (float 1e-9)) "max" 2.0 (Time.max 1.0 2.0);
+        Alcotest.(check (float 1e-9)) "min" 1.0 (Time.min 1.0 2.0);
+        Alcotest.(check bool) "finite" true (Time.is_finite 1.0);
+        Alcotest.(check bool) "inf" false (Time.is_finite infinity);
+        Alcotest.(check string) "inf prints" "inf" (Time.to_string infinity))
+  ]
+
+let () =
+  Alcotest.run "engine"
+    [ ("time", time_tests);
+      ("event_queue", event_queue_tests @ event_queue_properties);
+      ("sim", sim_tests);
+      ("timer", timer_tests);
+      ("rng", rng_tests @ rng_properties);
+      ("stats", stats_tests @ stats_extra_tests);
+      ("trace", trace_tests);
+      ("odds and ends", odds_and_ends)
+    ]

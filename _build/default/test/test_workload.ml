@@ -1,0 +1,232 @@
+(* Tests for the workload library: sweeps, mobility models, random
+   topology generation — plus whole-system properties on generated
+   networks. *)
+
+open Mmcast
+module Topology = Net.Topology
+module Network = Net.Network
+module Routing = Net.Routing
+
+let group = Scenario.group
+
+let sweep_tests =
+  [ Alcotest.test_case "over pairs inputs with outputs" `Quick (fun () ->
+        Alcotest.(check (list (pair int int))) "squares"
+          [ (1, 1); (2, 4); (3, 9) ]
+          (Workload.Sweep.over [ 1; 2; 3 ] ~f:(fun x -> x * x)));
+    Alcotest.test_case "repeated aggregates" `Quick (fun () ->
+        let mean, mn, mx =
+          Workload.Sweep.repeated ~trials:4 ~f:(fun ~trial -> float_of_int trial)
+        in
+        Alcotest.(check (float 1e-9)) "mean" 1.5 mean;
+        Alcotest.(check (float 1e-9)) "min" 0.0 mn;
+        Alcotest.(check (float 1e-9)) "max" 3.0 mx);
+    Alcotest.test_case "repeated rejects zero trials" `Quick (fun () ->
+        match Workload.Sweep.repeated ~trials:0 ~f:(fun ~trial:_ -> 0.0) with
+        | _ -> Alcotest.fail "expected rejection"
+        | exception Invalid_argument _ -> ());
+    Alcotest.test_case "linear endpoints" `Quick (fun () ->
+        match Workload.Sweep.linear ~lo:10.0 ~hi:20.0 ~steps:3 with
+        | [ a; b; c ] ->
+          Alcotest.(check (float 1e-9)) "lo" 10.0 a;
+          Alcotest.(check (float 1e-9)) "mid" 15.0 b;
+          Alcotest.(check (float 1e-9)) "hi" 20.0 c
+        | _ -> Alcotest.fail "expected three values");
+    Alcotest.test_case "geometric spacing" `Quick (fun () ->
+        match Workload.Sweep.geometric ~lo:1.0 ~hi:100.0 ~steps:3 with
+        | [ a; b; c ] ->
+          Alcotest.(check (float 1e-6)) "lo" 1.0 a;
+          Alcotest.(check (float 1e-6)) "mid" 10.0 b;
+          Alcotest.(check (float 1e-6)) "hi" 100.0 c
+        | _ -> Alcotest.fail "expected three values");
+    Alcotest.test_case "geometric rejects non-positive lo" `Quick (fun () ->
+        match Workload.Sweep.geometric ~lo:0.0 ~hi:10.0 ~steps:3 with
+        | _ -> Alcotest.fail "expected rejection"
+        | exception Invalid_argument _ -> ())
+  ]
+
+let mobility_tests =
+  [ Alcotest.test_case "script schedules each hop" `Quick (fun () ->
+        let s = Scenario.paper_figure1 Scenario.default_spec in
+        let r3 = Scenario.host s "R3" in
+        Workload.Mobility.script s r3 [ (10.0, "L6"); (20.0, "L1") ];
+        Scenario.run_until s 15.0;
+        Alcotest.(check string) "on L6 at 15" "L6"
+          (Topology.link_name (Network.topology s.Scenario.net) (Host_stack.current_link r3));
+        Scenario.run_until s 25.0;
+        Alcotest.(check string) "on L1 at 25" "L1"
+          (Topology.link_name (Network.topology s.Scenario.net) (Host_stack.current_link r3)));
+    Alcotest.test_case "round robin cycles through the links" `Quick (fun () ->
+        let s = Scenario.paper_figure1 Scenario.default_spec in
+        let r3 = Scenario.host s "R3" in
+        Workload.Mobility.round_robin s r3 ~links:[ "L6"; "L1" ] ~period:10.0 ~from_t:10.0
+          ~until:45.0;
+        Scenario.run_until s 15.0;
+        let name () =
+          Topology.link_name (Network.topology s.Scenario.net) (Host_stack.current_link r3)
+        in
+        Alcotest.(check string) "first hop" "L6" (name ());
+        Scenario.run_until s 25.0;
+        Alcotest.(check string) "second hop" "L1" (name ());
+        Scenario.run_until s 35.0;
+        Alcotest.(check string) "wraps" "L6" (name ()));
+    Alcotest.test_case "random walk makes progress and stays attached" `Quick (fun () ->
+        let s = Scenario.paper_figure1 Scenario.default_spec in
+        let r3 = Scenario.host s "R3" in
+        let rng = Engine.Rng.create 5 in
+        let walk =
+          Workload.Mobility.random_walk s r3 ~rng
+            ~links:[ "L1"; "L2"; "L4"; "L6" ]
+            ~dwell_mean:20.0 ~from_t:10.0 ~until:400.0
+        in
+        Scenario.run_until s 400.0;
+        Alcotest.(check bool) "several moves" true (walk.Workload.Mobility.walk_moves >= 5);
+        let topo = Network.topology s.Scenario.net in
+        Alcotest.(check bool) "attached somewhere" true
+          (Topology.is_attached topo (Host_stack.node_id r3) (Host_stack.current_link r3)));
+    Alcotest.test_case "links_of excludes the current link" `Quick (fun () ->
+        let s = Scenario.paper_figure1 Scenario.default_spec in
+        let r3 = Scenario.host s "R3" in
+        let links = Workload.Mobility.links_of s r3 in
+        Alcotest.(check bool) "no L4" false (List.mem "L4" links);
+        Alcotest.(check int) "five candidates" 5 (List.length links))
+  ]
+
+let topo_gen_tests =
+  [ Alcotest.test_case "random tree is fully routable" `Quick (fun () ->
+        List.iter
+          (fun seed ->
+            let s = Workload.Topo_gen.random_tree ~seed ~routers:8 ~hosts:5 () in
+            let topo = Network.topology s.Scenario.net in
+            let routing = Network.routing s.Scenario.net in
+            let nodes =
+              List.filter (fun n -> Topology.node_kind topo n = Topology.Router)
+                (Topology.nodes topo)
+            in
+            List.iter
+              (fun from ->
+                List.iter
+                  (fun link ->
+                    if Routing.distance_to_link routing ~from link = None then
+                      Alcotest.failf "seed %d: %s cannot reach %s" seed
+                        (Topology.node_name topo from) (Topology.link_name topo link))
+                  (Topology.links topo))
+              nodes)
+          [ 1; 2; 3; 42 ]);
+    Alcotest.test_case "hosts are attached to their home links" `Quick (fun () ->
+        let s = Workload.Topo_gen.random_tree ~seed:9 ~routers:5 ~hosts:6 () in
+        List.iter
+          (fun (_, h) ->
+            let topo = Network.topology s.Scenario.net in
+            Alcotest.(check bool) "attached" true
+              (Topology.is_attached topo (Host_stack.node_id h) (Host_stack.home_link h)))
+          s.Scenario.hosts);
+    Alcotest.test_case "mesh keeps extra cross links routable" `Quick (fun () ->
+        let s = Workload.Topo_gen.random_mesh ~seed:4 ~routers:6 ~extra_links:3 ~hosts:3 () in
+        let topo = Network.topology s.Scenario.net in
+        let routing = Network.routing s.Scenario.net in
+        let r0 = Option.get (Topology.find_node_by_name topo "N0") in
+        List.iter
+          (fun link ->
+            if
+              Topology.nodes_on_link topo link <> []
+              && Routing.distance_to_link routing ~from:r0 link = None
+            then Alcotest.failf "unreachable %s" (Topology.link_name topo link))
+          (Topology.links topo));
+    Alcotest.test_case "invalid sizes rejected" `Quick (fun () ->
+        (match Workload.Topo_gen.random_tree ~routers:0 ~hosts:1 () with
+         | _ -> Alcotest.fail "zero routers accepted"
+         | exception Invalid_argument _ -> ());
+        match Workload.Topo_gen.random_tree ~routers:3 ~hosts:(-1) () with
+        | _ -> Alcotest.fail "negative hosts accepted"
+        | exception Invalid_argument _ -> ())
+  ]
+
+(* ---- whole-system properties on generated networks ---- *)
+
+let delivery_property ~mesh =
+  let name =
+    if mesh then "random mesh: all subscribers receive the stream (duplicates only transient)"
+    else "random tree: all subscribers receive the full stream with no duplicates"
+  in
+  QCheck.Test.make ~name ~count:15
+    QCheck.(int_range 1 500)
+    (fun seed ->
+      let scenario =
+        if mesh then
+          Workload.Topo_gen.random_mesh ~seed ~routers:5 ~extra_links:2 ~hosts:4 ()
+        else Workload.Topo_gen.random_tree ~seed ~routers:6 ~hosts:4 ()
+      in
+      match scenario.Scenario.hosts with
+      | [] -> true
+      | (_, sender) :: receivers ->
+        List.iter (fun (_, h) -> Host_stack.subscribe h group) receivers;
+        (* Let hellos/queries settle, then stream. *)
+        ignore
+          (Traffic.cbr scenario sender ~group ~from_t:30.0 ~until:60.0 ~interval:0.5
+             ~bytes:200);
+        Scenario.run_until scenario 70.0;
+        let sent = Host_stack.data_sent sender in
+        sent > 0
+        && List.for_all
+             (fun (_, h) ->
+               let ok_count =
+                 (* Receivers sharing the sender's link hear it directly;
+                    everyone must get every datagram after the first
+                    (the flood itself delivers the first). *)
+                 Host_stack.received_count h ~group >= sent - 1
+               in
+               let ok_dups =
+                 if mesh then Host_stack.duplicate_count h ~group <= 5
+                 else Host_stack.duplicate_count h ~group = 0
+               in
+               ok_count && ok_dups)
+             receivers)
+
+(* Liveness under arbitrary mobility: whatever sequence of handoffs a
+   receiver performs, once it settles anywhere for a while it receives
+   the stream again — under every delivery approach. *)
+let mobility_liveness =
+  QCheck.Test.make ~name:"receiver liveness after arbitrary move sequences" ~count:20
+    QCheck.(pair (int_range 1 4) (list_of_size (QCheck.Gen.int_range 0 5) (int_range 0 5)))
+    (fun (approach_n, move_seeds) ->
+      let spec =
+        { Mmcast.Scenario.default_spec with
+          approach = Mmcast.Approach.of_number approach_n;
+          seed = 100 + approach_n }
+      in
+      let s = Mmcast.Scenario.paper_figure1 spec in
+      let r3 = Mmcast.Scenario.host s "R3" in
+      Mmcast.Host_stack.subscribe r3 group;
+      ignore
+        (Mmcast.Traffic.cbr s (Mmcast.Scenario.host s "S") ~group ~from_t:10.0
+           ~until:400.0 ~interval:0.5 ~bytes:300);
+      (* One handoff every 30 s to a link chosen by the seed (possibly
+         the home link, possibly a repeat). *)
+      let links = [| "L1"; "L2"; "L3"; "L4"; "L5"; "L6" |] in
+      List.iteri
+        (fun i seed ->
+          let when_ = 40.0 +. (30.0 *. float_of_int i) in
+          Mmcast.Traffic.at s when_ (fun () ->
+              Mmcast.Host_stack.move_to r3 (Mmcast.Scenario.link s links.(seed))))
+        move_seeds;
+      (* Settle for at least 100 s after the last move, then check the
+         stream is flowing. *)
+      let settle = 40.0 +. (30.0 *. float_of_int (List.length move_seeds)) +. 40.0 in
+      Mmcast.Scenario.run_until s (settle +. 60.0);
+      let mid = Mmcast.Host_stack.received_count r3 ~group in
+      Mmcast.Scenario.run_until s (settle +. 100.0);
+      let fin = Mmcast.Host_stack.received_count r3 ~group in
+      fin > mid)
+
+let system_properties =
+  List.map QCheck_alcotest.to_alcotest
+    [ delivery_property ~mesh:false; delivery_property ~mesh:true; mobility_liveness ]
+
+let () =
+  Alcotest.run "workload"
+    [ ("sweep", sweep_tests);
+      ("mobility", mobility_tests);
+      ("topo_gen", topo_gen_tests);
+      ("system properties", system_properties)
+    ]
