@@ -54,10 +54,20 @@ let parse_moves s =
     String.split_on_char ',' s
     |> List.mapi (fun i name -> (60.0 +. (60.0 *. float_of_int i), name))
 
-let run_cmd approach seed no_unsolicited tquery moves duration rate bytes loss =
+let parse_flap s =
+  match String.split_on_char ':' s with
+  | [ link; down; up ] -> (
+    match (float_of_string_opt down, float_of_string_opt up) with
+    | Some down_at, Some up_at -> Ok (link, down_at, up_at)
+    | _ -> Error s)
+  | _ -> Error s
+
+let run_cmd approach seed no_unsolicited tquery moves duration rate bytes loss flaps =
   match spec_of ~approach ~seed ~no_unsolicited ~tquery with
   | `Error _ as e -> e
   | `Ok _ when loss < 0.0 || loss > 1.0 -> `Error (false, "loss must be within [0,1]")
+  | `Ok _ when List.exists (fun f -> Result.is_error (parse_flap f)) flaps ->
+    `Error (false, "flap must be LINK:DOWN:UP, e.g. L3:80:100")
   | `Ok spec ->
     let scenario = Scenario.paper_figure1 spec in
     let metrics = Metrics.attach scenario.Scenario.net in
@@ -71,6 +81,24 @@ let run_cmd approach seed no_unsolicited tquery moves duration rate bytes loss =
       (Traffic.cbr scenario (Scenario.host scenario "S") ~group ~from_t:30.0
          ~until:(duration -. 10.0) ~interval:(1.0 /. rate) ~bytes);
     Workload.Mobility.script scenario r3 (parse_moves moves);
+    let recovery =
+      match flaps with
+      | [] -> None
+      | specs ->
+        let schedule =
+          List.map
+            (fun f ->
+              match parse_flap f with
+              | Ok (link, down_at, up_at) ->
+                Faults.link_flap ~link:(Scenario.link scenario link) ~down_at ~up_at
+              | Error _ -> assert false)
+            specs
+        in
+        let faults = Scenario.install_faults scenario schedule in
+        Some
+          (Recovery.create scenario ~group ~hosts:[ "R1"; "R2"; "R3" ]
+             (Faults.marks_of faults))
+    in
     Scenario.run_until scenario duration;
     Printf.printf "%s after %.0f s (%s):\n\n"
       (Approach.name spec.Scenario.approach)
@@ -95,6 +123,11 @@ let run_cmd approach seed no_unsolicited tquery moves duration rate bytes loss =
     if loss > 0.0 then
       Printf.printf "injected loss: %d deliveries suppressed\n"
         (Net.Network.losses scenario.Scenario.net);
+    (match recovery with
+     | None -> ()
+     | Some r ->
+       Printf.printf "\nrecovery after link repair:\n";
+       Format.printf "%a@." Recovery.pp_report (Recovery.report r));
     let c = Metrics.control_counts metrics in
     Printf.printf
       "control messages: %d hellos, %d joins, %d prunes, %d grafts, %d asserts, %d \
@@ -127,10 +160,17 @@ let run_term =
     let doc = "Loss probability injected on every link (failure testing)." in
     Arg.(value & opt float 0.0 & info [ "loss" ] ~docv:"P" ~doc)
   in
+  let flaps =
+    let doc =
+      "Flap a link: down at DOWN, back up at UP (simulated seconds), e.g. L3:80:100.  \
+       Repeatable.  Prints time-to-reconverge per receiver after each repair."
+    in
+    Arg.(value & opt_all string [] & info [ "flap" ] ~docv:"LINK:DOWN:UP" ~doc)
+  in
   Term.(
     ret
       (const run_cmd $ approach_arg $ seed_arg $ unsolicited_arg $ tquery_arg $ moves
-      $ duration $ rate $ bytes $ loss))
+      $ duration $ rate $ bytes $ loss $ flaps))
 
 (* ---- tree ---- *)
 
@@ -233,7 +273,7 @@ let trace_term =
     Arg.(value & opt float 80.0 & info [ "until" ] ~docv:"S" ~doc)
   in
   let category =
-    let doc = "Only this trace category (mld, pim, mipv6, node, link)." in
+    let doc = "Only this trace category (mld, pim, mipv6, node, link, fault)." in
     Arg.(value & opt (some string) None & info [ "category" ] ~docv:"CAT" ~doc)
   in
   Term.(

@@ -52,6 +52,7 @@ type t = {
   mutable mld_tunnel : Mld.Mld_host.t option;
   mutable subscriptions : Addr.Set.t;
   mutable on_data : (group:Addr.t -> Packet.t -> unit) option;
+  mutable data_observers : (group:Addr.t -> Packet.t -> unit) list;
   rx : (Addr.t, rx_stats) Hashtbl.t;
   seen : (int * int, unit) Hashtbl.t;
   mutable attached_at : Engine.Time.t;
@@ -215,6 +216,7 @@ let deliver_app t ~group packet =
       s.count <- s.count + 1;
       if s.first_after_attach = None then
         s.first_after_attach <- Some (Engine.Sim.now (sim t));
+      List.iter (fun observe -> observe ~group packet) t.data_observers;
       match t.on_data with
       | Some f -> f ~group packet
       | None -> ()
@@ -437,6 +439,8 @@ let move_to t link =
 
 let set_on_data t f = t.on_data <- Some f
 
+let add_data_observer t f = t.data_observers <- t.data_observers @ [ f ]
+
 let received_count t ~group = (rx_stats t group).count
 let duplicate_count t ~group = (rx_stats t group).dups
 let last_attach_time t = t.attached_at
@@ -479,6 +483,7 @@ let create ?home_agent net node ~home_link cfg =
     mld_tunnel = None;
     subscriptions = Addr.Set.empty;
     on_data = None;
+    data_observers = [];
     rx = Hashtbl.create 4;
     seen = Hashtbl.create 64;
     attached_at = Engine.Time.zero;

@@ -89,6 +89,14 @@ val move_to : t -> Ids.Link_id.t -> unit
 (** Handoff to another link (possibly back home). *)
 
 val set_on_data : t -> (group:Addr.t -> Packet.t -> unit) -> unit
+(** The application's single receive callback; setting again replaces
+    it. *)
+
+val add_data_observer : t -> (group:Addr.t -> Packet.t -> unit) -> unit
+(** Instrumentation hook: called on every fresh (non-duplicate)
+    datagram, before and independently of {!set_on_data}.  Observers
+    accumulate — the recovery-metrics layer uses this so it never
+    steals the application callback. *)
 
 (* Receiver-side instrumentation *)
 

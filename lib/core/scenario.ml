@@ -162,6 +162,32 @@ let link t name =
 
 let run_until t time = Engine.Sim.run ~until:time t.sim
 
+let install_faults t schedule =
+  let stack_of node =
+    List.find_map
+      (fun (_, r) -> if Ids.Node_id.equal (Router_stack.node_id r) node then Some r else None)
+      t.routers
+  in
+  let on_node what f node =
+    match stack_of node with
+    | Some r -> f r
+    | None ->
+      invalid_arg
+        (Printf.sprintf "Scenario.install_faults: cannot %s %s: not a router" what
+           (Topology.node_name (Network.topology t.net) node))
+  in
+  (* Catch a crash aimed at a non-router now, not when the event fires. *)
+  List.iter
+    (function
+      | Faults.Crash { node; _ } -> on_node "crash" ignore node
+      | _ -> ())
+    schedule;
+  let handlers =
+    { Faults.crash_node = on_node "crash" Router_stack.fail;
+      recover_node = on_node "recover" Router_stack.recover }
+  in
+  Faults.install t.net ~handlers schedule
+
 let subscribe_receivers t g =
   List.iter
     (fun (name, h) -> if String.length name > 0 && name.[0] = 'R' then Host_stack.subscribe h g)

@@ -60,5 +60,13 @@ val link : t -> string -> Ids.Link_id.t
 
 val run_until : t -> Engine.Time.t -> unit
 
+val install_faults : t -> Faults.schedule -> Faults.t
+(** Compile a fault schedule against this scenario's network.  [Crash]
+    specs are mapped to {!Router_stack.fail}/{!Router_stack.recover} of
+    the named router (a crashed router loses all soft state, exactly as
+    the protocols assume).
+    @raise Invalid_argument if a crash names a node that is not one of
+    the scenario's routers. *)
+
 val subscribe_receivers : t -> Addr.t -> unit
 (** Subscribe every host whose name starts with ['R'] to a group. *)

@@ -43,6 +43,22 @@ let split t =
   let s3 = splitmix64 state in
   { s0; s1; s2; s3 }
 
+let derive t label =
+  (* Mix the parent's current state with the label through splitmix64
+     without drawing from the parent, so derived streams do not perturb
+     the parent's sequence (and therefore every stream split after it). *)
+  let state =
+    ref
+      (Int64.logxor
+         (Int64.add t.s0 (Int64.mul 0x9E3779B97F4A7C15L (Int64.of_int (label + 1))))
+         (rotl t.s2 17))
+  in
+  let s0 = splitmix64 state in
+  let s1 = splitmix64 state in
+  let s2 = splitmix64 state in
+  let s3 = splitmix64 state in
+  { s0; s1; s2; s3 }
+
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
   (* Rejection sampling over the top 62 bits avoids modulo bias. *)

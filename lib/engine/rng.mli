@@ -17,6 +17,14 @@ val split : t -> t
 (** [split t] deterministically derives an independent generator and
     advances [t].  Used to give each node its own stream. *)
 
+val derive : t -> int -> t
+(** [derive t label] deterministically derives an independent generator
+    from [t]'s current state and an integer label {e without} advancing
+    [t].  Distinct labels yield distinct streams.  Fault injection uses
+    this so that enabling faults does not shift the streams handed out
+    to protocol components by subsequent {!split}s — a faulty run stays
+    comparable to its fault-free twin. *)
+
 val bits64 : t -> int64
 (** Next raw 64-bit output. *)
 

@@ -7,32 +7,58 @@ type record = {
 type t = {
   sim : Sim.t;
   mutable items : record list;  (* newest first *)
+  mutable total : int;
+  per_category : (string, int) Hashtbl.t;
+  (* Memoized oldest-first view of [items]; invalidated on record/clear
+     so repeated [records]/[by_category] calls don't re-reverse. *)
+  mutable oldest_first : record list option;
   mutable enabled : bool;
 }
 
-let create ?(enabled = true) sim = { sim; items = []; enabled }
+let create ?(enabled = true) sim =
+  { sim;
+    items = [];
+    total = 0;
+    per_category = Hashtbl.create 8;
+    oldest_first = None;
+    enabled }
 
 let set_enabled t flag = t.enabled <- flag
 let enabled t = t.enabled
 
 let record t ~category message =
-  if t.enabled then
-    t.items <- { at = Sim.now t.sim; category; message } :: t.items
+  if t.enabled then begin
+    t.items <- { at = Sim.now t.sim; category; message } :: t.items;
+    t.total <- t.total + 1;
+    Hashtbl.replace t.per_category category
+      (1 + Option.value ~default:0 (Hashtbl.find_opt t.per_category category));
+    t.oldest_first <- None
+  end
 
 let recordf t ~category fmt =
   Format.kasprintf (fun message -> record t ~category message) fmt
 
-let records t = List.rev t.items
+let records t =
+  match t.oldest_first with
+  | Some cached -> cached
+  | None ->
+    let ordered = List.rev t.items in
+    t.oldest_first <- Some ordered;
+    ordered
 
 let by_category t category =
   List.filter (fun r -> String.equal r.category category) (records t)
 
 let count ?category t =
   match category with
-  | None -> List.length t.items
-  | Some c -> List.length (by_category t c)
+  | None -> t.total
+  | Some c -> Option.value ~default:0 (Hashtbl.find_opt t.per_category c)
 
-let clear t = t.items <- []
+let clear t =
+  t.items <- [];
+  t.total <- 0;
+  Hashtbl.reset t.per_category;
+  t.oldest_first <- None
 
 let pp_record ppf r =
   Format.fprintf ppf "[%a] %-6s %s" Time.pp r.at r.category r.message

@@ -2,7 +2,13 @@
 
     Protocol modules record human-readable events here; tests assert on
     them and the benchmark harness prints them.  Recording can be
-    disabled wholesale for long benchmark runs. *)
+    disabled wholesale for long benchmark runs.
+
+    Internally records are kept {e newest first} (constant-time
+    prepend); {!records} presents them oldest first through a memoized
+    reversal, and {!count} is answered from incrementally maintained
+    total and per-category counters, so neither walks the full history
+    on every call. *)
 
 type record = {
   at : Time.t;
@@ -23,11 +29,16 @@ val record : t -> category:string -> string -> unit
 val recordf : t -> category:string -> ('a, Format.formatter, unit, unit) format4 -> 'a
 
 val records : t -> record list
-(** All records, oldest first. *)
+(** All records, oldest first.  The reversal of the internal
+    newest-first list is memoized until the next {!record}, so calling
+    this repeatedly between recordings is cheap. *)
 
 val by_category : t -> string -> record list
+(** Oldest first, filtered from the memoized {!records} view. *)
 
 val count : ?category:string -> t -> int
+(** O(1): served from incrementally maintained counters, never by
+    filtering the record list. *)
 
 val clear : t -> unit
 

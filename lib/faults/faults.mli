@@ -1,0 +1,125 @@
+(** Deterministic fault injection.
+
+    A fault {e schedule} is a declarative list of impairments — loss,
+    duplication and reordering windows on links, link flaps, network
+    partitions, and router crash/restart cycles — that {!install}
+    compiles into simulator events.  The events flip the fault knobs of
+    {!Net.Network} (and invoke caller-supplied crash handlers for
+    nodes) at the scheduled times, so the protocols under test observe
+    faults exactly as the RFCs assume: a lost PIM Graft is simply never
+    delivered and the sender's Graft retry timer must recover it, a
+    crashed router loses its RAM, a flapped link destroys frames in
+    flight.
+
+    {b Determinism.}  All fault randomness (which particular deliveries
+    a loss window kills, etc.) draws from RNG streams derived from the
+    simulation seed without perturbing the streams handed to protocol
+    components ({!Engine.Rng.derive}), so a seeded fault scenario is
+    bit-for-bit reproducible and comparable to its fault-free twin.
+
+    The schedule also yields {!marks} — labelled instants at which a
+    disruption begins or ends — which the recovery-metrics layer uses
+    to measure time-to-reconverge per fault. *)
+
+open Net
+
+type spec =
+  | Loss_window of {
+      link : Ids.Link_id.t;
+      rate : float;  (** per-delivery loss probability in [0,1] *)
+      from_t : Engine.Time.t;
+      until : Engine.Time.t;
+    }
+  | Duplicate_window of {
+      link : Ids.Link_id.t;
+      rate : float;
+      from_t : Engine.Time.t;
+      until : Engine.Time.t;
+    }
+  | Reorder_window of {
+      link : Ids.Link_id.t;
+      rate : float;
+      jitter : Engine.Time.t;  (** max extra delivery delay *)
+      from_t : Engine.Time.t;
+      until : Engine.Time.t;
+    }
+  | Link_flap of {
+      link : Ids.Link_id.t;
+      down_at : Engine.Time.t;
+      up_at : Engine.Time.t;
+    }
+  | Partition of {
+      links : Ids.Link_id.t list;  (** all down together: a network split *)
+      from_t : Engine.Time.t;
+      until : Engine.Time.t;
+    }
+  | Crash of {
+      node : Ids.Node_id.t;
+      at : Engine.Time.t;
+      recover_at : Engine.Time.t option;  (** [None]: stays dead *)
+    }
+
+type schedule = spec list
+
+(* Constructors, for readable schedules. *)
+val loss_window :
+  link:Ids.Link_id.t -> rate:float -> from_t:Engine.Time.t -> until:Engine.Time.t -> spec
+
+val duplicate_window :
+  link:Ids.Link_id.t -> rate:float -> from_t:Engine.Time.t -> until:Engine.Time.t -> spec
+
+val reorder_window :
+  link:Ids.Link_id.t ->
+  rate:float ->
+  jitter:Engine.Time.t ->
+  from_t:Engine.Time.t ->
+  until:Engine.Time.t ->
+  spec
+
+val link_flap : link:Ids.Link_id.t -> down_at:Engine.Time.t -> up_at:Engine.Time.t -> spec
+val partition : links:Ids.Link_id.t list -> from_t:Engine.Time.t -> until:Engine.Time.t -> spec
+val crash : ?recover_at:Engine.Time.t -> node:Ids.Node_id.t -> at:Engine.Time.t -> unit -> spec
+
+val validate : schedule -> unit
+(** @raise Invalid_argument on a rate outside [0,1], a negative time or
+    jitter, an empty partition, or a window whose end does not follow
+    its start. *)
+
+(** A labelled instant a disruption begins or ends, e.g.
+    ["loss(L3)+"], ["flap(L3) down"], ["crash(D) restart"].  Recovery
+    metrics measure reconvergence from marks; repair marks (link back
+    up, router restarted) are the usual anchors for protocol-recovery
+    time, onset marks for outage time. *)
+type mark = {
+  fault_label : string;
+  fault_at : Engine.Time.t;
+  repair : bool;  (** true when the mark is the end of a disruption *)
+}
+
+val marks : Topology.t -> schedule -> mark list
+(** Chronological; purely a function of the schedule (available before
+    the simulation runs). *)
+
+(** What to do to a node when a [Crash] fires; the core layer maps
+    these to [Router_stack.fail]/[recover]. *)
+type handlers = {
+  crash_node : Ids.Node_id.t -> unit;
+  recover_node : Ids.Node_id.t -> unit;
+}
+
+type t
+
+val install : Network.t -> handlers:handlers -> schedule -> t
+(** Validates, then schedules every state change on the network's
+    simulator.  Loss/duplication/reorder windows save the link's
+    previous setting when they open and restore it when they close, so
+    a window composes with an ambient rate set directly on the network.
+    Every applied change is recorded in the network trace under
+    category ["fault"].
+    @raise Invalid_argument if the schedule is invalid or starts in the
+    simulator's past. *)
+
+val schedule_of : t -> schedule
+val marks_of : t -> mark list
+val events_fired : t -> int
+(** Fault state changes applied so far. *)

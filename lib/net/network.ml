@@ -14,6 +14,18 @@ type link_stats = {
 
 let empty_stats = { packets = 0; bytes = 0; data_bytes = 0 }
 
+(* Fault-injection state of one link; absent entry = pristine link. *)
+type condition = {
+  mutable up : bool;
+  mutable loss : float;
+  mutable dup : float;
+  mutable reorder : float;
+  mutable reorder_jitter : Engine.Time.t;
+}
+
+let pristine () =
+  { up = true; loss = 0.0; dup = 0.0; reorder = 0.0; reorder_jitter = 0.0 }
+
 type t = {
   sim : Engine.Sim.t;
   topology : Topology.t;
@@ -24,12 +36,22 @@ type t = {
   mutable per_link : link_stats Link_id.Map.t;
   mutable dropped : int;
   mutable observers : (Link_id.t -> Packet.t -> unit) list;
-  loss_rates : (Link_id.t, float) Hashtbl.t;
+  conditions : (Link_id.t, condition) Hashtbl.t;
+  (* Independent fault randomness: [loss_rng] is split from the root
+     stream (as it always was); the duplication and reordering streams
+     are derived from it without advancing it, so enabling those faults
+     does not perturb any other component's stream. *)
   loss_rng : Engine.Rng.t;
+  dup_rng : Engine.Rng.t;
+  reorder_rng : Engine.Rng.t;
   mutable lost : int;
+  mutable duplicated : int;
+  mutable reordered : int;
+  mutable blocked : int;
 }
 
 let create sim topology =
+  let loss_rng = Engine.Rng.split (Engine.Sim.rng sim) in
   { sim;
     topology;
     routing = Routing.create topology;
@@ -39,9 +61,14 @@ let create sim topology =
     per_link = Link_id.Map.empty;
     dropped = 0;
     observers = [];
-    loss_rates = Hashtbl.create 4;
-    loss_rng = Engine.Rng.split (Engine.Sim.rng sim);
-    lost = 0 }
+    conditions = Hashtbl.create 4;
+    loss_rng;
+    dup_rng = Engine.Rng.derive loss_rng 1;
+    reorder_rng = Engine.Rng.derive loss_rng 2;
+    lost = 0;
+    duplicated = 0;
+    reordered = 0;
+    blocked = 0 }
 
 let sim t = t.sim
 let topology t = t.topology
@@ -59,18 +86,68 @@ let count t link packet =
         data_bytes = prev.data_bytes + Packet.payload_data_bytes packet }
       t.per_link
 
-let set_loss_rate t link rate =
-  if rate < 0.0 || rate > 1.0 then invalid_arg "Network.set_loss_rate: rate outside [0,1]";
-  Hashtbl.replace t.loss_rates link rate
+let condition t link =
+  match Hashtbl.find_opt t.conditions link with
+  | Some c -> c
+  | None ->
+    let c = pristine () in
+    Hashtbl.replace t.conditions link c;
+    c
 
-let loss_rate t link = Option.value ~default:0.0 (Hashtbl.find_opt t.loss_rates link)
+let check_rate name rate =
+  if rate < 0.0 || rate > 1.0 then
+    invalid_arg (Printf.sprintf "Network.%s: rate outside [0,1]" name)
+
+let set_loss_rate t link rate =
+  check_rate "set_loss_rate" rate;
+  (condition t link).loss <- rate
+
+let loss_rate t link =
+  match Hashtbl.find_opt t.conditions link with
+  | Some c -> c.loss
+  | None -> 0.0
+
+let set_duplicate_rate t link rate =
+  check_rate "set_duplicate_rate" rate;
+  (condition t link).dup <- rate
+
+let duplicate_rate t link =
+  match Hashtbl.find_opt t.conditions link with
+  | Some c -> c.dup
+  | None -> 0.0
+
+let set_reorder t link ~rate ~jitter =
+  check_rate "set_reorder" rate;
+  if jitter < 0.0 then invalid_arg "Network.set_reorder: negative jitter";
+  let c = condition t link in
+  c.reorder <- rate;
+  c.reorder_jitter <- jitter
+
+let set_link_up t link up =
+  let c = condition t link in
+  if c.up <> up then begin
+    c.up <- up;
+    Engine.Trace.recordf t.trace ~category:"fault" "link %s %s"
+      (Topology.link_name t.topology link)
+      (if up then "up" else "down")
+  end
+
+let link_is_up t link =
+  match Hashtbl.find_opt t.conditions link with
+  | Some c -> c.up
+  | None -> true
 
 let losses t = t.lost
+let duplicates_injected t = t.duplicated
+let reordered t = t.reordered
+let blocked t = t.blocked
 
 let deliver t ~link ~from ~to_node packet =
-  (* Attachment is re-checked at delivery time: a node that moved away
-     while the frame was in flight misses it. *)
-  if Topology.is_attached t.topology to_node link then begin
+  (* Attachment and link state are re-checked at delivery time: a node
+     that moved away while the frame was in flight misses it, and a
+     link that went down kills its in-flight frames. *)
+  if not (link_is_up t link) then t.blocked <- t.blocked + 1
+  else if Topology.is_attached t.topology to_node link then begin
     let rate = loss_rate t link in
     if rate > 0.0 && Engine.Rng.float t.loss_rng 1.0 < rate then t.lost <- t.lost + 1
     else
@@ -86,16 +163,24 @@ let transmit t ~from ~link dest packet =
       (Topology.node_name t.topology from)
       (Topology.link_name t.topology link)
   end
+  else if not (link_is_up t link) then begin
+    (* A down link takes no frames at all; the sender's MAC would
+       report carrier loss, which no protocol here listens to. *)
+    t.blocked <- t.blocked + 1;
+    Engine.Trace.recordf t.trace ~category:"fault" "blocked: %s is down"
+      (Topology.link_name t.topology link)
+  end
   else begin
     count t link packet;
     List.iter (fun observe -> observe link packet) t.observers;
     (* Propagation plus serialization: the link's bandwidth turns the
        packet size into transmission time. *)
-    let delay =
+    let base_delay =
       Engine.Time.add
         (Topology.link_delay t.topology link)
         (float_of_int (8 * Packet.size packet) /. Topology.link_bandwidth_bps t.topology link)
     in
+    let cond = Hashtbl.find_opt t.conditions link in
     let targets =
       match dest with
       | To_node n -> [ n ]
@@ -104,11 +189,27 @@ let transmit t ~from ~link dest packet =
           (fun n -> not (Node_id.equal n from))
           (Topology.nodes_on_link t.topology link)
     in
+    let schedule to_node delay =
+      ignore
+        (Engine.Sim.schedule_after t.sim delay (fun () ->
+             deliver t ~link ~from ~to_node packet))
+    in
     List.iter
       (fun to_node ->
-        ignore
-          (Engine.Sim.schedule_after t.sim delay (fun () ->
-               deliver t ~link ~from ~to_node packet)))
+        let delay =
+          match cond with
+          | Some c when c.reorder > 0.0 && Engine.Rng.float t.reorder_rng 1.0 < c.reorder ->
+            t.reordered <- t.reordered + 1;
+            Engine.Time.add base_delay
+              (Engine.Rng.float t.reorder_rng (Engine.Time.seconds c.reorder_jitter))
+          | Some _ | None -> base_delay
+        in
+        schedule to_node delay;
+        match cond with
+        | Some c when c.dup > 0.0 && Engine.Rng.float t.dup_rng 1.0 < c.dup ->
+          t.duplicated <- t.duplicated + 1;
+          schedule to_node delay
+        | Some _ | None -> ())
       targets
   end
 
@@ -146,4 +247,7 @@ let add_transmit_observer t f = t.observers <- t.observers @ [ f ]
 let reset_stats t =
   t.per_link <- Link_id.Map.empty;
   t.dropped <- 0;
-  t.lost <- 0
+  t.lost <- 0;
+  t.duplicated <- 0;
+  t.reordered <- 0;
+  t.blocked <- 0

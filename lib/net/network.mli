@@ -49,6 +49,14 @@ val transmit : t -> from:Ids.Node_id.t -> link:Ids.Link_id.t -> l2_dest -> Packe
     (a handoff drops in-flight frames).  Transmitting from a detached
     node is a silent drop, counted in {!drops}. *)
 
+(** {2 Fault injection}
+
+    Per-link impairments, driven declaratively by the [Faults] library
+    but also settable directly.  Fault randomness draws from streams
+    that are {e derived} from (not split off) the root stream, so a run
+    with faults enabled hands every protocol component the same RNG
+    streams as the fault-free run with the same seed. *)
+
 val set_loss_rate : t -> Ids.Link_id.t -> float -> unit
 (** Failure injection: each delivery on the link is independently lost
     with this probability (per receiver, so one multicast frame may
@@ -57,8 +65,39 @@ val set_loss_rate : t -> Ids.Link_id.t -> float -> unit
 
 val loss_rate : t -> Ids.Link_id.t -> float
 
+val set_duplicate_rate : t -> Ids.Link_id.t -> float -> unit
+(** Each (per-receiver) delivery is independently duplicated with this
+    probability — both copies arrive, modelling L2 retransmit glitches.
+    0 by default.  @raise Invalid_argument outside [0, 1]. *)
+
+val duplicate_rate : t -> Ids.Link_id.t -> float
+
+val set_reorder : t -> Ids.Link_id.t -> rate:float -> jitter:Engine.Time.t -> unit
+(** Each delivery is independently delayed by an extra uniform draw
+    from [(0, jitter)] with probability [rate], letting later frames
+    overtake it.  @raise Invalid_argument for rate outside [0, 1] or
+    negative jitter. *)
+
+val set_link_up : t -> Ids.Link_id.t -> bool -> unit
+(** Link flap: while a link is down, transmissions onto it are blocked
+    (silently for the sender, as a real carrier loss would be to these
+    protocols) and frames still in flight on it are destroyed.  State
+    changes are recorded in the trace under category ["fault"]. *)
+
+val link_is_up : t -> Ids.Link_id.t -> bool
+(** True unless {!set_link_up} turned the link down. *)
+
 val losses : t -> int
 (** Deliveries suppressed by loss injection so far. *)
+
+val duplicates_injected : t -> int
+(** Extra deliveries created by duplication injection so far. *)
+
+val reordered : t -> int
+(** Deliveries given extra reordering delay so far. *)
+
+val blocked : t -> int
+(** Transmissions and in-flight deliveries killed by a down link. *)
 
 val claim_address : t -> Ids.Node_id.t -> link:Ids.Link_id.t -> Addr.t -> unit
 (** Later claims replace earlier ones (a proxy claim by a home agent

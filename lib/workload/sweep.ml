@@ -20,3 +20,91 @@ let linear ~lo ~hi ~steps =
   else
     let step = (hi -. lo) /. float_of_int (steps - 1) in
     List.init steps (fun i -> lo +. (float_of_int i *. step))
+
+(* ---- fault-recovery sweeps ---- *)
+
+open Mmcast
+
+type recovery_row = {
+  rec_approach : Approach.t;
+  loss_rate : float;
+  mean_recovery_s : float option;
+  max_recovery_s : float option;
+  unrecovered : int;
+  samples : int;
+}
+
+let fault_recovery ?(spec = Scenario.default_spec) ?(loss_rates = [ 0.0; 0.05; 0.15 ])
+    ?(approaches = Approach.all) () =
+  let group = Scenario.group in
+  let run approach loss =
+    let spec = { spec with Scenario.approach } in
+    let scenario = Scenario.paper_figure1 spec in
+    let l3 = Scenario.link scenario "L3" in
+    (* Ambient loss on the transit link for the whole run: control
+       traffic (Grafts, Reports, Binding Updates) suffers it too, so
+       the RFC retransmission timers govern how fast delivery comes
+       back after the flap heals. *)
+    if loss > 0.0 then Net.Network.set_loss_rate scenario.Scenario.net l3 loss;
+    let s = Scenario.host scenario "S" in
+    let r3 = Scenario.host scenario "R3" in
+    Traffic.at scenario 5.0 (fun () -> Scenario.subscribe_receivers scenario group);
+    ignore
+      (Traffic.cbr scenario s ~group ~from_t:30.0 ~until:200.0 ~interval:0.5 ~bytes:500);
+    (* R3 roams before the flap so the delivery approaches actually
+       differ: native grafting vs tunnelled delivery re-converge along
+       different paths when L3 comes back. *)
+    Traffic.at scenario 50.0 (fun () ->
+        Host_stack.move_to r3 (Scenario.link scenario "L6"));
+    let faults =
+      Scenario.install_faults scenario
+        [ Faults.link_flap ~link:l3 ~down_at:80.0 ~up_at:100.0 ]
+    in
+    let recovery =
+      Recovery.create scenario ~group ~hosts:[ "R3" ] (Faults.marks_of faults)
+    in
+    Scenario.run_until scenario 200.0;
+    let r = Recovery.report recovery in
+    { rec_approach = approach;
+      loss_rate = loss;
+      mean_recovery_s = r.Recovery.mean_recovery_s;
+      max_recovery_s = r.Recovery.max_recovery_s;
+      unrecovered = r.Recovery.unrecovered;
+      samples = List.length r.Recovery.samples }
+  in
+  List.concat_map (fun loss -> List.map (fun a -> run a loss) approaches) loss_rates
+
+type flap_row = {
+  flap_count : int;
+  flap_mean_recovery_s : float option;
+  flap_max_recovery_s : float option;
+  flap_unrecovered : int;
+}
+
+let flap_recovery ?(spec = Scenario.default_spec) ?(flap_counts = [ 1; 2; 4 ]) () =
+  let group = Scenario.group in
+  let run count =
+    let scenario = Scenario.paper_figure1 spec in
+    let l3 = Scenario.link scenario "L3" in
+    let s = Scenario.host scenario "S" in
+    let horizon = 320.0 in
+    Traffic.at scenario 5.0 (fun () -> Scenario.subscribe_receivers scenario group);
+    ignore
+      (Traffic.cbr scenario s ~group ~from_t:30.0 ~until:horizon ~interval:0.5 ~bytes:500);
+    let schedule =
+      List.init count (fun k ->
+          let down_at = 60.0 +. (float_of_int k *. 240.0 /. float_of_int count) in
+          Faults.link_flap ~link:l3 ~down_at ~up_at:(down_at +. 10.0))
+    in
+    let faults = Scenario.install_faults scenario schedule in
+    let recovery =
+      Recovery.create scenario ~group ~hosts:[ "R3" ] (Faults.marks_of faults)
+    in
+    Scenario.run_until scenario (horizon +. 20.0);
+    let r = Recovery.report recovery in
+    { flap_count = count;
+      flap_mean_recovery_s = r.Recovery.mean_recovery_s;
+      flap_max_recovery_s = r.Recovery.max_recovery_s;
+      flap_unrecovered = r.Recovery.unrecovered }
+  in
+  List.map run flap_counts

@@ -11,3 +11,44 @@ val geometric : lo:float -> hi:float -> steps:int -> float list
 (** Geometrically spaced values from [lo] to [hi] inclusive. *)
 
 val linear : lo:float -> hi:float -> steps:int -> float list
+
+(** {1 Fault-recovery sweeps}
+
+    Deterministic fault scenarios on the paper's Figure 1 network,
+    measuring the time until multicast delivery reaches receiver R3
+    again after the transit link L3 heals (see [Mmcast.Recovery]). *)
+
+type recovery_row = {
+  rec_approach : Mmcast.Approach.t;
+  loss_rate : float;  (** ambient per-delivery loss on L3 *)
+  mean_recovery_s : float option;  (** [None]: nothing recovered *)
+  max_recovery_s : float option;
+  unrecovered : int;
+  samples : int;
+}
+
+val fault_recovery :
+  ?spec:Mmcast.Scenario.spec ->
+  ?loss_rates:float list ->
+  ?approaches:Mmcast.Approach.t list ->
+  unit ->
+  recovery_row list
+(** For every (loss rate, delivery approach) pair: R3 roams L4→L6 at
+    t=50, L3 flaps down at t=80 and up at t=100, and the row reports
+    how long after the repair R3 receives data again.  Ambient loss
+    also hits the control traffic, so recovery is paced by the Graft
+    retry, MLD robustness and Binding-Update backoff timers.  Defaults:
+    loss rates [0; 0.05; 0.15], all four approaches. *)
+
+type flap_row = {
+  flap_count : int;
+  flap_mean_recovery_s : float option;
+  flap_max_recovery_s : float option;
+  flap_unrecovered : int;
+}
+
+val flap_recovery :
+  ?spec:Mmcast.Scenario.spec -> ?flap_counts:int list -> unit -> flap_row list
+(** Sweep the number of 10 s flaps of L3 spread over a 320 s run
+    (default 1, 2, 4) and report recovery statistics across all repair
+    marks. *)
