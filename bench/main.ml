@@ -3,9 +3,19 @@
    Bechamel microbenchmarks of the substrate.
 
    Run everything:        dune exec bench/main.exe
-   Run one section:       dune exec bench/main.exe -- fig2 table1 micro *)
+   Run one section:       dune exec bench/main.exe -- fig2 table1 micro
+   Multicore sweeps:      dune exec bench/main.exe -- table1 --jobs 4
+   Perf trajectory:       dune exec bench/main.exe -- perf   (writes BENCH_perf.json)
+
+   --jobs N fans sweep-shaped sections over N domains (default: all
+   cores; output is byte-identical to --jobs 1).  --quick shrinks the
+   perf section's measurement budget for CI smoke runs. *)
 
 open Mmcast
+
+(* Sweep fan-out width; sections read it when they call the drivers. *)
+let jobs_setting = ref (Parallel.default_jobs ())
+let quick_setting = ref false
 
 let section title =
   Printf.printf "\n============================================================\n";
@@ -58,15 +68,16 @@ let fig5 () =
 
 let table1 () =
   section "Table 1 + section 4.3: the four approaches, quantitatively";
+  let jobs = !jobs_setting in
   print_endline "MLD with the paper's recommended unsolicited Reports:";
-  Comparison.pp_table Format.std_formatter (Experiments.table1 ());
+  Comparison.pp_table Format.std_formatter (Experiments.table1 ~jobs ());
   print_endline "";
   print_endline "MLD with RFC-default behaviour (hosts wait for the next Query):";
   let spec =
     { Scenario.default_spec with
       mld = { Mld.Mld_config.default with unsolicited_report_count = 0 } }
   in
-  Comparison.pp_table Format.std_formatter (Experiments.table1 ~spec ());
+  Comparison.pp_table Format.std_formatter (Experiments.table1 ~spec ~jobs ());
   print_endline
     "\npaper's expected shape: approach 1 routes optimally but suffers join delay\n\
      and tree rebuilds; approach 2 has no join delay but doubles loads and\n\
@@ -82,7 +93,7 @@ let convergence () =
         (Approach.name r.Experiments.conv_approach)
         r.foreign_link_data_bytes r.foreign_link_packets
         (String.concat "/" (List.map string_of_int r.per_receiver_rx)))
-    (Experiments.tunnel_convergence ());
+    (Experiments.tunnel_convergence ~jobs:!jobs_setting ());
   print_endline
     "\npaper: 'the same multicast datagrams will be sent via unicast to each group\n\
      member on the foreign link' -- tunnel delivery doubles the shared link's\n\
@@ -103,10 +114,11 @@ let pp_sweep rows =
 
 let timer_sweep () =
   section "Section 4.4: MLD Query Interval sweep (mobile receiver handoffs)";
+  let jobs = !jobs_setting in
   print_endline "hosts wait for the next Query:";
-  pp_sweep (Experiments.timer_sweep ~trials:8 ~unsolicited:false ());
+  pp_sweep (Experiments.timer_sweep ~trials:8 ~unsolicited:false ~jobs ());
   print_endline "\nwith unsolicited Reports (paper's recommendation):";
-  pp_sweep (Experiments.timer_sweep ~trials:8 ~unsolicited:true ());
+  pp_sweep (Experiments.timer_sweep ~trials:8 ~unsolicited:true ~jobs ());
   print_endline
     "\npaper's expected shape: join and leave delays fall roughly linearly with\n\
      TQuery while the Query/Report signalling cost grows as 1/TQuery and stays\n\
@@ -122,7 +134,7 @@ let sender_overhead () =
     (fun (r : Experiments.overhead_row) ->
       Printf.printf "  %6d %8d %14d %10d %16d\n" r.Experiments.moves r.asserts
         r.flood_bytes_l5 r.sg_states r.total_data_bytes)
-    (Experiments.sender_overhead ());
+    (Experiments.sender_overhead ~jobs:!jobs_setting ());
   print_endline "\nsame sweep with a reverse tunnel (approach 3): movement costs vanish";
   Printf.printf "  %6s %8s %14s %10s %16s\n" "moves" "asserts" "flood on L5 [B]" "SG states"
     "total data [B]";
@@ -132,7 +144,7 @@ let sender_overhead () =
         r.flood_bytes_l5 r.sg_states r.total_data_bytes)
     (Experiments.sender_overhead
        ~spec:{ Scenario.default_spec with approach = Approach.tunnel_to_home_agent }
-       ())
+       ~jobs:!jobs_setting ())
 
 (* ---- ablations (DESIGN.md section 4) ---- *)
 
@@ -455,8 +467,9 @@ let scale () =
 let faults () =
   section "Faults: reconvergence after link flap, per approach and loss rate";
   let loss_rates = [ 0.0; 0.05; 0.15 ] in
-  let rows = Workload.Sweep.fault_recovery ~loss_rates () in
-  let flaps = Workload.Sweep.flap_recovery () in
+  let jobs = !jobs_setting in
+  let rows = Workload.Sweep.fault_recovery ~loss_rates ~jobs () in
+  let flaps = Workload.Sweep.flap_recovery ~jobs () in
   let opt_s = function
     | Some v -> Printf.sprintf "%.3f" v
     | None -> "-"
@@ -626,6 +639,140 @@ let micro () =
              Scenario.run_until scenario 100.0))
     ]
 
+(* ---- perf trajectory (BENCH_perf.json) ---- *)
+
+(* One bechamel estimate, in ns/run, for a single staged thunk. *)
+let estimate_ns name fn =
+  let open Bechamel in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let quota = Time.second (if !quick_setting then 0.25 else 1.0) in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota () in
+  let raw =
+    Benchmark.all cfg
+      [ Toolkit.Instance.monotonic_clock ]
+      (Test.make_grouped ~name:"perf" [ Test.make ~name (Staged.stage fn) ])
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  Hashtbl.fold
+    (fun _ v acc ->
+      match Analyze.OLS.estimates v with
+      | Some (e :: _) -> e
+      | Some [] | None -> acc)
+    results nan
+
+let time_wall f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let perf () =
+  section "Perf: hot-path throughput + multicore sweep wall-clock (BENCH_perf.json)";
+  let jobs = !jobs_setting in
+  let cores = Parallel.default_jobs () in
+  (* -- micro 1: events through the queue (push + pop, with a cancel
+        mixed in every 4th entry to exercise lazy deletion) -- *)
+  let queue_events = 1024 in
+  let queue_batch () =
+    let q = Engine.Event_queue.create () in
+    for i = 0 to queue_events - 1 do
+      let h = Engine.Event_queue.push q (float_of_int (i land 63)) i in
+      if i land 3 = 0 then Engine.Event_queue.cancel q h
+    done;
+    let rec drain () =
+      match Engine.Event_queue.pop q with
+      | Some _ -> drain ()
+      | None -> ()
+    in
+    drain ()
+  in
+  (* -- micro 2: packets through Network.transmit on a pristine
+        multi-access link (1 sender, 3 listeners, no faults) -- *)
+  let transmit_packets = 64 in
+  let sim = Engine.Sim.create () in
+  let topo = Net.Topology.create () in
+  let link =
+    Net.Topology.add_link topo ~name:"L"
+      ~prefix:(Ipv6.Prefix.of_string "2001:db8:99::/64") ()
+  in
+  let sender = Net.Topology.add_node topo ~name:"S" ~kind:Net.Topology.Host in
+  let receivers =
+    List.map
+      (fun name -> Net.Topology.add_node topo ~name ~kind:Net.Topology.Host)
+      [ "R1"; "R2"; "R3" ]
+  in
+  List.iter (fun n -> Net.Topology.attach topo n link) (sender :: receivers);
+  let net = Net.Network.create sim topo in
+  List.iter
+    (fun n -> Net.Network.set_handler net n (fun ~link:_ ~from:_ _ -> ()))
+    receivers;
+  let packet =
+    Ipv6.Packet.make
+      ~src:(Ipv6.Addr.of_string "2001:db8:99::1")
+      ~dst:(Ipv6.Addr.of_string "ff0e::1:1")
+      (Ipv6.Packet.Data { stream_id = 1; seq = 0; bytes = 500 })
+  in
+  let transmit_batch () =
+    for _ = 1 to transmit_packets do
+      Net.Network.transmit net ~from:sender ~link Net.Network.To_all packet
+    done;
+    Engine.Sim.run sim
+  in
+  print_endline "  measuring hot-path throughput (bechamel)...";
+  let queue_ns = estimate_ns "event queue batch" queue_batch in
+  let transmit_ns = estimate_ns "transmit batch" transmit_batch in
+  let per_s count ns = float_of_int count /. (ns *. 1e-9) in
+  let events_per_s = per_s queue_events queue_ns in
+  let packets_per_s = per_s transmit_packets transmit_ns in
+  Printf.printf "  %-44s %14.0f /s\n" "event queue: events through push/cancel/pop"
+    events_per_s;
+  Printf.printf "  %-44s %14.0f /s\n" "network: packets through transmit+deliver"
+    packets_per_s;
+  (* -- macro: Table 1 sweep, sequential vs fanned across domains -- *)
+  Printf.printf "\n  Table 1 sweep wall-clock (jobs=1 vs jobs=%d, %d core%s visible):\n"
+    jobs cores (if cores = 1 then "" else "s");
+  let rows_seq, t_seq = time_wall (fun () -> Experiments.table1 ~jobs:1 ()) in
+  let rows_par, t_par = time_wall (fun () -> Experiments.table1 ~jobs ()) in
+  let identical = rows_seq = rows_par in
+  let speedup = if t_par > 0.0 then t_seq /. t_par else nan in
+  Printf.printf "  %-24s %10.3f s\n" "jobs=1" t_seq;
+  Printf.printf "  %-24s %10.3f s   (speedup %.2fx, rows identical: %b)\n"
+    (Printf.sprintf "jobs=%d" jobs) t_par speedup identical;
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"schema\": \"mmcast-bench-perf/1\",\n\
+      \  \"host_cores\": %d,\n\
+      \  \"jobs\": %d,\n\
+      \  \"quick\": %b,\n\
+      \  \"micro\": {\n\
+      \    \"event_queue\": {\"events_per_batch\": %d, \"ns_per_batch\": %.1f, \
+       \"events_per_s\": %.0f},\n\
+      \    \"transmit\": {\"packets_per_batch\": %d, \"ns_per_batch\": %.1f, \
+       \"packets_per_s\": %.0f}\n\
+      \  },\n\
+      \  \"macro\": {\n\
+      \    \"workload\": \"table1\",\n\
+      \    \"jobs1_wall_s\": %.6f,\n\
+      \    \"jobsN_wall_s\": %.6f,\n\
+      \    \"speedup\": %.4f,\n\
+      \    \"rows_identical\": %b\n\
+      \  }\n\
+       }"
+      cores jobs !quick_setting queue_events queue_ns events_per_s transmit_packets
+      transmit_ns packets_per_s t_seq t_par speedup identical
+  in
+  let path = "BENCH_perf.json" in
+  let oc = open_out path in
+  output_string oc json;
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "\n  JSON report written to %s\n" path;
+  if not identical then (
+    prerr_endline "perf: parallel Table 1 rows differ from sequential rows";
+    exit 1)
+
 (* ---- driver ---- *)
 
 let sections =
@@ -643,12 +790,41 @@ let sections =
     ("churn", churn);
     ("faults", faults);
     ("scale", scale);
-    ("micro", micro) ]
+    ("micro", micro);
+    ("perf", perf) ]
+
+let usage () =
+  Printf.eprintf
+    "usage: main.exe [--jobs N] [--quick] [section ...]\n\
+     sections: %s\n"
+    (String.concat " " (List.map fst sections));
+  exit 1
 
 let () =
-  let args = List.tl (Array.to_list Sys.argv) in
+  (* Tiny hand-rolled parser: flags anywhere, the rest are sections. *)
+  let rec parse acc = function
+    | [] -> List.rev acc
+    | ("-j" | "--jobs") :: n :: rest ->
+      (match int_of_string_opt n with
+       | Some j when j >= 1 -> jobs_setting := j
+       | Some _ | None ->
+         Printf.eprintf "--jobs expects a positive integer, got %s\n" n;
+         exit 1);
+      parse acc rest
+    | [ ("-j" | "--jobs") ] ->
+      Printf.eprintf "--jobs expects an argument\n";
+      exit 1
+    | "--quick" :: rest ->
+      quick_setting := true;
+      parse acc rest
+    | arg :: _ when String.length arg > 0 && arg.[0] = '-' ->
+      Printf.eprintf "unknown flag %s\n" arg;
+      usage ()
+    | name :: rest -> parse (name :: acc) rest
+  in
+  let picks = parse [] (List.tl (Array.to_list Sys.argv)) in
   let chosen =
-    match args with
+    match picks with
     | [] | [ "all" ] -> List.map fst sections
     | picks -> picks
   in

@@ -29,6 +29,16 @@ let tquery_arg =
   let doc = "MLD Query Interval in seconds." in
   Arg.(value & opt float 125.0 & info [ "tquery" ] ~docv:"S" ~doc)
 
+let jobs_arg =
+  let doc =
+    "Worker domains for sweep-shaped commands (default: all cores).  Results are \
+     byte-identical whatever $(docv) is; 1 forces the sequential path."
+  in
+  Arg.(
+    value
+    & opt int (Parallel.default_jobs ())
+    & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
 let spec_of ~approach ~seed ~no_unsolicited ~tquery =
   if approach < 1 || approach > 4 then `Error (false, "approach must be 1-4")
   else if tquery < Mld.Mld_config.default.Mld.Mld_config.query_response_interval then
@@ -198,27 +208,29 @@ let tree_term =
 
 (* ---- compare ---- *)
 
-let compare_cmd seed no_unsolicited tquery =
+let compare_cmd seed no_unsolicited tquery jobs =
   match spec_of ~approach:1 ~seed ~no_unsolicited ~tquery with
   | `Error _ as e -> e
+  | `Ok _ when jobs < 1 -> `Error (false, "jobs must be at least 1")
   | `Ok spec ->
-    Comparison.pp_table Format.std_formatter (Comparison.run_all ~spec ());
+    Comparison.pp_table Format.std_formatter (Comparison.run_all ~spec ~jobs ());
     `Ok ()
 
 let compare_term =
-  Term.(ret (const compare_cmd $ seed_arg $ unsolicited_arg $ tquery_arg))
+  Term.(ret (const compare_cmd $ seed_arg $ unsolicited_arg $ tquery_arg $ jobs_arg))
 
 (* ---- sweep ---- *)
 
-let sweep_cmd trials no_unsolicited tqueries =
+let sweep_cmd trials no_unsolicited tqueries jobs =
   let values =
     String.split_on_char ',' tqueries |> List.filter_map float_of_string_opt
   in
   if values = [] then `Error (false, "no valid TQuery values")
+  else if jobs < 1 then `Error (false, "jobs must be at least 1")
   else begin
     let rows =
       Experiments.timer_sweep ~trials ~unsolicited:(not no_unsolicited)
-        ~tquery_values:values ()
+        ~tquery_values:values ~jobs ()
     in
     Printf.printf "%8s %22s %10s %12s %10s\n" "TQuery" "join mean/min/max [s]" "leave [s]"
       "wasted [B]" "MLD [B/s]";
@@ -240,7 +252,7 @@ let sweep_term =
     let doc = "Comma-separated TQuery values (seconds)." in
     Arg.(value & opt string "125,60,30,10" & info [ "tquery" ] ~docv:"LIST" ~doc)
   in
-  Term.(ret (const sweep_cmd $ trials $ unsolicited_arg $ tqueries))
+  Term.(ret (const sweep_cmd $ trials $ unsolicited_arg $ tqueries $ jobs_arg))
 
 (* ---- trace ---- *)
 

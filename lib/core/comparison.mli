@@ -43,8 +43,10 @@ val run : ?spec:Scenario.spec -> Approach.t -> row
 (** Runs both scenarios for one approach.  [spec]'s approach field is
     overridden. *)
 
-val run_all : ?spec:Scenario.spec -> unit -> row list
-(** All four approaches, paper order. *)
+val run_all : ?spec:Scenario.spec -> ?jobs:int -> unit -> row list
+(** All four approaches, paper order.  [jobs] (default 1) distributes
+    the approaches over a {!Parallel} pool; the rows are identical
+    whatever [jobs] is. *)
 
 val pp_table : Format.formatter -> row list -> unit
 (** The quantitative Table 1. *)

@@ -154,7 +154,7 @@ let fig5 () =
     (List.length groups) Ipv6.Hexdump.pp_bits sub_wire Ipv6.Hexdump.pp sub_wire
     (Packet.size bu) Ipv6.Hexdump.pp (Ipv6.Codec.encode bu)
 
-let table1 ?spec () = Comparison.run_all ?spec ()
+let table1 ?spec ?jobs () = Comparison.run_all ?spec ?jobs ()
 
 (* ---- section 4.3.2: several mobile members on one foreign link ---- *)
 
@@ -165,7 +165,7 @@ type convergence_row = {
   per_receiver_rx : int list;
 }
 
-let tunnel_convergence ?(spec = Scenario.default_spec) () =
+let tunnel_convergence ?(spec = Scenario.default_spec) ?(jobs = 1) () =
   let run approach =
     let spec = { spec with Scenario.approach } in
     let scenario = Scenario.paper_figure1 spec in
@@ -198,7 +198,7 @@ let tunnel_convergence ?(spec = Scenario.default_spec) () =
           [ Host_stack.received_count (Scenario.host scenario "R2") ~group;
             Host_stack.received_count (Scenario.host scenario "R3") ~group ] }
   in
-  [ run Approach.local_membership; run Approach.bidirectional_tunnel ]
+  Parallel.map ~jobs run [ Approach.local_membership; Approach.bidirectional_tunnel ]
 
 (* ---- section 4.4: timer sweep ---- *)
 
@@ -214,7 +214,7 @@ type sweep_row = {
 }
 
 let timer_sweep ?(trials = 8) ?(unsolicited = false) ?(tquery_values = [ 125.0; 60.0; 30.0; 10.0 ])
-    () =
+    ?(jobs = 1) () =
   let run_trial ~tquery ~trial =
     let mld =
       { (Mld.Mld_config.with_query_interval tquery Mld.Mld_config.default) with
@@ -251,9 +251,21 @@ let timer_sweep ?(trials = 8) ?(unsolicited = false) ?(tquery_values = [ 125.0; 
     in
     (join, leave, wasted, mld_rate)
   in
-  List.map
-    (fun tquery ->
-      let results = List.init trials (fun trial -> run_trial ~tquery ~trial) in
+  (* Fan the whole (TQuery × trial) grid out at once — parallelizing
+     only within one TQuery value would cap the speedup at [trials] —
+     then fold each TQuery's slice back in trial order. *)
+  let grid =
+    List.concat_map
+      (fun tquery -> List.init trials (fun trial -> (tquery, trial)))
+      tquery_values
+  in
+  let outcomes =
+    Array.of_list
+      (Parallel.map ~jobs (fun (tquery, trial) -> run_trial ~tquery ~trial) grid)
+  in
+  List.mapi
+    (fun ti tquery ->
+      let results = Array.to_list (Array.sub outcomes (ti * trials) trials) in
       let joins =
         List.filter_map (fun (j, _, _, _) -> Option.map Engine.Time.seconds j) results
       in
@@ -281,7 +293,8 @@ type overhead_row = {
   total_data_bytes : int;
 }
 
-let sender_overhead ?(spec = Scenario.default_spec) ?(move_counts = [ 0; 1; 2; 4; 8 ]) () =
+let sender_overhead ?(spec = Scenario.default_spec) ?(move_counts = [ 0; 1; 2; 4; 8 ])
+    ?(jobs = 1) () =
   let run_one moves =
     let scenario = Scenario.paper_figure1 spec in
     let metrics = Metrics.attach scenario.Scenario.net in
@@ -310,4 +323,4 @@ let sender_overhead ?(spec = Scenario.default_spec) ?(move_counts = [ 0; 1; 2; 4
       total_data_bytes =
         Metrics.bytes metrics Metrics.Data_native + Metrics.bytes metrics Metrics.Data_tunnelled }
   in
-  List.map run_one move_counts
+  Parallel.map ~jobs run_one move_counts

@@ -31,7 +31,9 @@ val fig5 : unit -> string
     Sub-Option, plus the sub-option alone in the bit layout of the
     paper's Figure 5. *)
 
-val table1 : ?spec:Scenario.spec -> unit -> Comparison.row list
+val table1 : ?spec:Scenario.spec -> ?jobs:int -> unit -> Comparison.row list
+(** [jobs] (default 1) fans the four approaches across domains; the
+    rows are identical whatever [jobs] is (see {!Comparison.run_all}). *)
 
 (** {1 Section 4.3.2: tunnel delivery defeats multicast on shared
     foreign links} *)
@@ -44,7 +46,7 @@ type convergence_row = {
   per_receiver_rx : int list;  (** sorted delivery counts *)
 }
 
-val tunnel_convergence : ?spec:Scenario.spec -> unit -> convergence_row list
+val tunnel_convergence : ?spec:Scenario.spec -> ?jobs:int -> unit -> convergence_row list
 (** R2 and R3 both roam to Link 6 while S streams.  Under local group
     membership one multicast copy per datagram crosses L6; under the
     bi-directional tunnel each mobile member gets its own unicast copy
@@ -65,7 +67,12 @@ type sweep_row = {
 }
 
 val timer_sweep :
-  ?trials:int -> ?unsolicited:bool -> ?tquery_values:float list -> unit -> sweep_row list
+  ?trials:int ->
+  ?unsolicited:bool ->
+  ?tquery_values:float list ->
+  ?jobs:int ->
+  unit ->
+  sweep_row list
 (** For each TQuery value (default [125; 60; 30; 10] s, the paper's
     tuning direction), run several mobile-receiver handoffs with the
     handoff phase stratified across the query cycle and report
@@ -84,6 +91,6 @@ type overhead_row = {
 }
 
 val sender_overhead :
-  ?spec:Scenario.spec -> ?move_counts:int list -> unit -> overhead_row list
+  ?spec:Scenario.spec -> ?move_counts:int list -> ?jobs:int -> unit -> overhead_row list
 (** Sweep the sender's mobility rate (number of handoffs in a fixed
     300 s run) and measure re-flood and assert overheads. *)

@@ -1,13 +1,18 @@
+(* The handle doubles as the entry's lifecycle cell: cancellation flips
+   a mutable flag reachable from both the caller and the heap entry, so
+   the common schedule/fire cycle allocates one small record per event
+   and never touches a hash table. *)
+
+type status = Live | Cancelled | Fired
+
+type handle = { mutable status : status }
+
 type 'a entry = {
   time : Time.t;
   seq : int;
   payload : 'a;
-  id : int;
+  cell : handle;
 }
-
-type handle = int
-
-type status = Live | Cancelled
 
 type 'a t = {
   mutable heap : 'a entry array option;
@@ -16,15 +21,10 @@ type 'a t = {
      until they reach the top (lazy deletion). *)
   mutable len : int;
   mutable seq : int;
-  mutable next_id : int;
-  status : (int, status) Hashtbl.t;
-  (* Ids of entries still in the heap.  Fired entries are removed, so a
-     cancel after firing is a no-op. *)
   mutable live : int;
 }
 
-let create () =
-  { heap = None; len = 0; seq = 0; next_id = 0; status = Hashtbl.create 64; live = 0 }
+let create () = { heap = None; len = 0; seq = 0; live = 0 }
 
 let entry_before a b =
   match Time.compare a.time b.time with
@@ -68,26 +68,25 @@ let rec sift_down arr len i =
   end
 
 let push t time payload =
-  let id = t.next_id in
-  t.next_id <- id + 1;
-  let entry = { time; seq = t.seq; payload; id } in
+  let cell = { status = Live } in
+  let entry = { time; seq = t.seq; payload; cell } in
   t.seq <- t.seq + 1;
   let arr = grow t entry in
   arr.(t.len) <- entry;
   t.len <- t.len + 1;
   sift_up arr (t.len - 1);
-  Hashtbl.replace t.status id Live;
   t.live <- t.live + 1;
-  id
+  cell
 
-let is_cancelled t id = Hashtbl.find_opt t.status id = Some Cancelled
+let is_cancelled _t handle = handle.status = Cancelled
 
-let cancel t id =
-  match Hashtbl.find_opt t.status id with
-  | Some Live ->
-    Hashtbl.replace t.status id Cancelled;
+let cancel t handle =
+  (* Cancelling a fired or already-cancelled event is a no-op; [live]
+     only tracks events still in the heap. *)
+  if handle.status = Live then begin
+    handle.status <- Cancelled;
     t.live <- t.live - 1
-  | Some Cancelled | None -> ()
+  end
 
 let pop_entry t =
   match t.heap with
@@ -104,15 +103,14 @@ let pop_entry t =
       Some top
     end
 
-(* Drop cancelled entries from the top so peek/pop see a live event. *)
+(* Drop cancelled entries from the top so peek/pop see a live event.
+   Their [live] decrement already happened at cancel time. *)
 let rec drop_cancelled t =
   match t.heap with
   | None -> ()
   | Some arr ->
-    if t.len > 0 && is_cancelled t arr.(0).id then begin
-      (match pop_entry t with
-       | Some e -> Hashtbl.remove t.status e.id
-       | None -> ());
+    if t.len > 0 && arr.(0).cell.status = Cancelled then begin
+      ignore (pop_entry t);
       drop_cancelled t
     end
 
@@ -127,7 +125,7 @@ let pop t =
   match pop_entry t with
   | None -> None
   | Some e ->
-    Hashtbl.remove t.status e.id;
+    e.cell.status <- Fired;
     t.live <- t.live - 1;
     Some (e.time, e.payload)
 

@@ -2,12 +2,18 @@
     extraction and O(1) cancellation (lazy deletion).
 
     Events with equal timestamps are delivered in insertion order, which
-    keeps protocol traces deterministic. *)
+    keeps protocol traces deterministic.
+
+    The queue does no hashing: a handle is a one-word lifecycle cell
+    shared with the heap entry, so the schedule/fire cycle costs one
+    record allocation and heap sifts, nothing else. *)
 
 type 'a t
 
 type handle
-(** Identifies a scheduled event so it can be cancelled. *)
+(** Identifies a scheduled event so it can be cancelled.  Handles are
+    physical: a handle cancels exactly the event whose [push] returned
+    it. *)
 
 val create : unit -> 'a t
 

@@ -36,7 +36,11 @@ let record t ~category message =
   end
 
 let recordf t ~category fmt =
-  Format.kasprintf (fun message -> record t ~category message) fmt
+  (* Check [enabled] before rendering: [kasprintf] formats eagerly, and
+     hot paths (transmit, faults) call this on every packet, so a
+     disabled trace must not pay the formatting cost. *)
+  if t.enabled then Format.kasprintf (fun message -> record t ~category message) fmt
+  else Format.ikfprintf (fun _ -> ()) Format.str_formatter fmt
 
 let records t =
   match t.oldest_first with

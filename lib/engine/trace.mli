@@ -27,6 +27,9 @@ val enabled : t -> bool
 val record : t -> category:string -> string -> unit
 
 val recordf : t -> category:string -> ('a, Format.formatter, unit, unit) format4 -> 'a
+(** Like {!record} with a format string.  When the trace is disabled
+    nothing is rendered: the format arguments are consumed without
+    being formatted (so even [%t]/[%a] closures are never called). *)
 
 val records : t -> record list
 (** All records, oldest first.  The reversal of the internal

@@ -14,6 +14,15 @@ type link_stats = {
 
 let empty_stats = { packets = 0; bytes = 0; data_bytes = 0 }
 
+(* Per-link counters live in mutable records so the per-packet path is
+   one hash lookup plus three in-place increments — no functional-map
+   rebuild per packet. *)
+type stats_cell = {
+  mutable c_packets : int;
+  mutable c_bytes : int;
+  mutable c_data_bytes : int;
+}
+
 (* Fault-injection state of one link; absent entry = pristine link. *)
 type condition = {
   mutable up : bool;
@@ -33,9 +42,13 @@ type t = {
   trace : Engine.Trace.t;
   handlers : (Node_id.t, link:Link_id.t -> from:Node_id.t -> Packet.t -> unit) Hashtbl.t;
   owners : (Link_id.t * Addr.t, Node_id.t) Hashtbl.t;
-  mutable per_link : link_stats Link_id.Map.t;
+  per_link : (Link_id.t, stats_cell) Hashtbl.t;
   mutable dropped : int;
-  mutable observers : (Link_id.t -> Packet.t -> unit) list;
+  (* Observers in registration order in [observers.(0 .. n_observers-1)];
+     a growable array keeps registration O(1) amortized and the
+     per-packet iteration a tight counted loop. *)
+  mutable observers : (Link_id.t -> Packet.t -> unit) array;
+  mutable n_observers : int;
   conditions : (Link_id.t, condition) Hashtbl.t;
   (* Independent fault randomness: [loss_rng] is split from the root
      stream (as it always was); the duplication and reordering streams
@@ -58,9 +71,10 @@ let create sim topology =
     trace = Engine.Trace.create sim;
     handlers = Hashtbl.create 32;
     owners = Hashtbl.create 64;
-    per_link = Link_id.Map.empty;
+    per_link = Hashtbl.create 16;
     dropped = 0;
-    observers = [];
+    observers = [||];
+    n_observers = 0;
     conditions = Hashtbl.create 4;
     loss_rng;
     dup_rng = Engine.Rng.derive loss_rng 1;
@@ -78,13 +92,22 @@ let trace t = t.trace
 let set_handler t node f = Hashtbl.replace t.handlers node f
 
 let count t link packet =
-  let prev = Option.value ~default:empty_stats (Link_id.Map.find_opt link t.per_link) in
-  t.per_link <-
-    Link_id.Map.add link
-      { packets = prev.packets + 1;
-        bytes = prev.bytes + Packet.size packet;
-        data_bytes = prev.data_bytes + Packet.payload_data_bytes packet }
-      t.per_link
+  let cell =
+    match Hashtbl.find_opt t.per_link link with
+    | Some cell -> cell
+    | None ->
+      let cell = { c_packets = 0; c_bytes = 0; c_data_bytes = 0 } in
+      Hashtbl.replace t.per_link link cell;
+      cell
+  in
+  cell.c_packets <- cell.c_packets + 1;
+  cell.c_bytes <- cell.c_bytes + Packet.size packet;
+  cell.c_data_bytes <- cell.c_data_bytes + Packet.payload_data_bytes packet
+
+(* No conditions table entries means no link has ever been impaired —
+   the overwhelmingly common case — and both transmit and delivery can
+   skip every per-link fault lookup.  [Hashtbl.length] is O(1). *)
+let faultless t = Hashtbl.length t.conditions = 0
 
 let condition t link =
   match Hashtbl.find_opt t.conditions link with
@@ -145,10 +168,12 @@ let blocked t = t.blocked
 let deliver t ~link ~from ~to_node packet =
   (* Attachment and link state are re-checked at delivery time: a node
      that moved away while the frame was in flight misses it, and a
-     link that went down kills its in-flight frames. *)
-  if not (link_is_up t link) then t.blocked <- t.blocked + 1
+     link that went down kills its in-flight frames.  On a faultless
+     network both checks reduce to the attachment test. *)
+  let faultless = faultless t in
+  if (not faultless) && not (link_is_up t link) then t.blocked <- t.blocked + 1
   else if Topology.is_attached t.topology to_node link then begin
-    let rate = loss_rate t link in
+    let rate = if faultless then 0.0 else loss_rate t link in
     if rate > 0.0 && Engine.Rng.float t.loss_rng 1.0 < rate then t.lost <- t.lost + 1
     else
       match Hashtbl.find_opt t.handlers to_node with
@@ -163,54 +188,57 @@ let transmit t ~from ~link dest packet =
       (Topology.node_name t.topology from)
       (Topology.link_name t.topology link)
   end
-  else if not (link_is_up t link) then begin
-    (* A down link takes no frames at all; the sender's MAC would
-       report carrier loss, which no protocol here listens to. *)
-    t.blocked <- t.blocked + 1;
-    Engine.Trace.recordf t.trace ~category:"fault" "blocked: %s is down"
-      (Topology.link_name t.topology link)
-  end
   else begin
-    count t link packet;
-    List.iter (fun observe -> observe link packet) t.observers;
-    (* Propagation plus serialization: the link's bandwidth turns the
-       packet size into transmission time. *)
-    let base_delay =
-      Engine.Time.add
-        (Topology.link_delay t.topology link)
-        (float_of_int (8 * Packet.size packet) /. Topology.link_bandwidth_bps t.topology link)
-    in
-    let cond = Hashtbl.find_opt t.conditions link in
-    let targets =
-      match dest with
-      | To_node n -> [ n ]
-      | To_all ->
-        List.filter
-          (fun n -> not (Node_id.equal n from))
-          (Topology.nodes_on_link t.topology link)
-    in
-    let schedule to_node delay =
-      ignore
-        (Engine.Sim.schedule_after t.sim delay (fun () ->
-             deliver t ~link ~from ~to_node packet))
-    in
-    List.iter
-      (fun to_node ->
-        let delay =
+    let cond = if faultless t then None else Hashtbl.find_opt t.conditions link in
+    match cond with
+    | Some c when not c.up ->
+      (* A down link takes no frames at all; the sender's MAC would
+         report carrier loss, which no protocol here listens to. *)
+      t.blocked <- t.blocked + 1;
+      Engine.Trace.recordf t.trace ~category:"fault" "blocked: %s is down"
+        (Topology.link_name t.topology link)
+    | _ ->
+      count t link packet;
+      for i = 0 to t.n_observers - 1 do
+        (Array.unsafe_get t.observers i) link packet
+      done;
+      (* Propagation plus serialization: the link's bandwidth turns the
+         packet size into transmission time. *)
+      let base_delay =
+        Engine.Time.add
+          (Topology.link_delay t.topology link)
+          (float_of_int (8 * Packet.size packet) /. Topology.link_bandwidth_bps t.topology link)
+      in
+      let targets =
+        match dest with
+        | To_node n -> [ n ]
+        | To_all ->
+          List.filter
+            (fun n -> not (Node_id.equal n from))
+            (Topology.nodes_on_link t.topology link)
+      in
+      let schedule to_node delay =
+        ignore
+          (Engine.Sim.schedule_after t.sim delay (fun () ->
+               deliver t ~link ~from ~to_node packet))
+      in
+      List.iter
+        (fun to_node ->
+          let delay =
+            match cond with
+            | Some c when c.reorder > 0.0 && Engine.Rng.float t.reorder_rng 1.0 < c.reorder ->
+              t.reordered <- t.reordered + 1;
+              Engine.Time.add base_delay
+                (Engine.Rng.float t.reorder_rng (Engine.Time.seconds c.reorder_jitter))
+            | Some _ | None -> base_delay
+          in
+          schedule to_node delay;
           match cond with
-          | Some c when c.reorder > 0.0 && Engine.Rng.float t.reorder_rng 1.0 < c.reorder ->
-            t.reordered <- t.reordered + 1;
-            Engine.Time.add base_delay
-              (Engine.Rng.float t.reorder_rng (Engine.Time.seconds c.reorder_jitter))
-          | Some _ | None -> base_delay
-        in
-        schedule to_node delay;
-        match cond with
-        | Some c when c.dup > 0.0 && Engine.Rng.float t.dup_rng 1.0 < c.dup ->
-          t.duplicated <- t.duplicated + 1;
-          schedule to_node delay
-        | Some _ | None -> ())
-      targets
+          | Some c when c.dup > 0.0 && Engine.Rng.float t.dup_rng 1.0 < c.dup ->
+            t.duplicated <- t.duplicated + 1;
+            schedule to_node delay
+          | Some _ | None -> ())
+        targets
   end
 
 let claim_address t node ~link addr = Hashtbl.replace t.owners (link, addr) node
@@ -230,22 +258,31 @@ let addresses_of t node =
   |> List.sort compare
 
 let link_stats t link =
-  Option.value ~default:empty_stats (Link_id.Map.find_opt link t.per_link)
+  match Hashtbl.find_opt t.per_link link with
+  | None -> empty_stats
+  | Some c -> { packets = c.c_packets; bytes = c.c_bytes; data_bytes = c.c_data_bytes }
 
 let total_stats t =
-  Link_id.Map.fold
-    (fun _ s acc ->
-      { packets = acc.packets + s.packets;
-        bytes = acc.bytes + s.bytes;
-        data_bytes = acc.data_bytes + s.data_bytes })
+  Hashtbl.fold
+    (fun _ c acc ->
+      { packets = acc.packets + c.c_packets;
+        bytes = acc.bytes + c.c_bytes;
+        data_bytes = acc.data_bytes + c.c_data_bytes })
     t.per_link empty_stats
 
 let drops t = t.dropped
 
-let add_transmit_observer t f = t.observers <- t.observers @ [ f ]
+let add_transmit_observer t f =
+  if t.n_observers = Array.length t.observers then begin
+    let grown = Array.make (max 4 (2 * t.n_observers)) f in
+    Array.blit t.observers 0 grown 0 t.n_observers;
+    t.observers <- grown
+  end;
+  t.observers.(t.n_observers) <- f;
+  t.n_observers <- t.n_observers + 1
 
 let reset_stats t =
-  t.per_link <- Link_id.Map.empty;
+  Hashtbl.reset t.per_link;
   t.dropped <- 0;
   t.lost <- 0;
   t.duplicated <- 0;

@@ -14,7 +14,12 @@
 
     Per-link counters record every transmitted packet and its size, and
     an observer hook lets the metrics layer classify traffic without
-    the protocol code knowing about metrics. *)
+    the protocol code knowing about metrics.
+
+    The per-packet path is engineered for sweep throughput: counters
+    are mutable records behind one hash lookup, and a network on which
+    no fault was ever installed skips the fault-condition machinery
+    entirely. *)
 
 open Ipv6
 
@@ -116,6 +121,7 @@ val total_stats : t -> link_stats
 val drops : t -> int
 
 val add_transmit_observer : t -> (Ids.Link_id.t -> Packet.t -> unit) -> unit
-(** Called synchronously on every transmit, before delivery. *)
+(** Called synchronously on every transmit, before delivery, in
+    registration order.  Registration is O(1) amortized. *)
 
 val reset_stats : t -> unit

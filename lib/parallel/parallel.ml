@@ -1,0 +1,119 @@
+let default_jobs () = Domain.recommended_domain_count ()
+
+(* One batch at a time: [queue] holds the tasks of the current batch,
+   [pending] counts tasks taken but not yet finished plus tasks still
+   queued.  Workers sleep on [work_available]; the batch submitter
+   sleeps on [batch_done].  Tasks never raise — [run] wraps each thunk
+   to capture its outcome — so a worker's loop needs no exception
+   plumbing. *)
+type pool = {
+  n_jobs : int;
+  mutex : Mutex.t;
+  work_available : Condition.t;
+  batch_done : Condition.t;
+  mutable queue : (unit -> unit) list;
+  mutable pending : int;
+  mutable closed : bool;
+  mutable domains : unit Domain.t list;
+}
+
+let jobs t = t.n_jobs
+
+(* Pop and run queued tasks until the queue is empty.  Caller holds the
+   mutex; the mutex is held again on return. *)
+let drain_queue t =
+  let rec loop () =
+    match t.queue with
+    | [] -> ()
+    | task :: rest ->
+      t.queue <- rest;
+      Mutex.unlock t.mutex;
+      task ();
+      Mutex.lock t.mutex;
+      t.pending <- t.pending - 1;
+      if t.pending = 0 then Condition.broadcast t.batch_done;
+      loop ()
+  in
+  loop ()
+
+let worker t () =
+  let rec loop () =
+    Mutex.lock t.mutex;
+    while t.queue = [] && not t.closed do
+      Condition.wait t.work_available t.mutex
+    done;
+    if t.queue = [] then Mutex.unlock t.mutex (* closed, nothing left *)
+    else begin
+      drain_queue t;
+      Mutex.unlock t.mutex;
+      loop ()
+    end
+  in
+  loop ()
+
+let create ?jobs () =
+  let n_jobs = max 1 (Option.value jobs ~default:(default_jobs ())) in
+  let t =
+    { n_jobs;
+      mutex = Mutex.create ();
+      work_available = Condition.create ();
+      batch_done = Condition.create ();
+      queue = [];
+      pending = 0;
+      closed = false;
+      domains = [] }
+  in
+  if n_jobs > 1 then
+    t.domains <- List.init (n_jobs - 1) (fun _ -> Domain.spawn (worker t));
+  t
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  let domains = t.domains in
+  t.closed <- true;
+  t.domains <- [];
+  Condition.broadcast t.work_available;
+  Mutex.unlock t.mutex;
+  List.iter Domain.join domains
+
+let run t thunks =
+  if t.closed then invalid_arg "Parallel.run: pool is shut down";
+  match thunks with
+  | [] -> []
+  | _ when t.n_jobs = 1 -> List.map (fun f -> f ()) thunks
+  | _ ->
+    let tasks = Array.of_list thunks in
+    let n = Array.length tasks in
+    let results = Array.make n None in
+    let task i () =
+      results.(i) <-
+        Some (match tasks.(i) () with
+              | v -> Ok v
+              | exception e -> Error e)
+    in
+    Mutex.lock t.mutex;
+    for i = n - 1 downto 0 do
+      t.queue <- task i :: t.queue
+    done;
+    t.pending <- t.pending + n;
+    Condition.broadcast t.work_available;
+    (* The caller is a worker too: drain what the domains haven't
+       claimed, then wait for the stragglers they are still running. *)
+    drain_queue t;
+    while t.pending > 0 do
+      Condition.wait t.batch_done t.mutex
+    done;
+    Mutex.unlock t.mutex;
+    Array.to_list results
+    |> List.map (function
+         | Some (Ok v) -> v
+         | Some (Error e) -> raise e
+         | None -> assert false)
+
+let with_pool ?jobs f =
+  let pool = create ?jobs () in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
+
+let map ?(jobs = 1) f items =
+  if jobs <= 1 then List.map f items
+  else with_pool ~jobs (fun pool -> run pool (List.map (fun x () -> f x) items))

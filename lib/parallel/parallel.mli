@@ -1,0 +1,52 @@
+(** Domain-based work pool for fanning independent simulation runs
+    across cores.
+
+    The simulator is single-threaded by design — every scenario owns
+    its own {!Engine.Sim}, RNG streams and network state, and nothing
+    in [lib/] touches global mutable state — so independent scenario
+    runs can execute on separate domains with no coordination.  This
+    module provides the fan-out: an order-preserving parallel [map]
+    over a hand-rolled pool of OCaml 5 domains (no dependencies beyond
+    the stdlib's [Domain], [Mutex] and [Condition]).
+
+    {b Determinism.}  Results are returned in input order, so a sweep
+    run through {!map} is element-for-element identical to the
+    sequential [List.map] — parallelism changes wall-clock time, never
+    output.  [~jobs:1] bypasses the pool entirely and runs plain
+    [List.map] on the calling domain. *)
+
+type pool
+(** A fixed set of worker domains plus the caller, which also executes
+    tasks while it waits.  A pool serves one {!run} at a time (the
+    sweep drivers never overlap batches); it is not a concurrent
+    scheduler. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()] — the whole machine. *)
+
+val create : ?jobs:int -> unit -> pool
+(** [create ~jobs ()] spawns [jobs - 1] worker domains (the caller is
+    the [jobs]-th worker).  [jobs] defaults to {!default_jobs}; values
+    below 1 are clamped to 1, which spawns nothing. *)
+
+val jobs : pool -> int
+
+val shutdown : pool -> unit
+(** Joins the worker domains.  Idempotent; using the pool afterwards
+    raises [Invalid_argument]. *)
+
+val run : pool -> (unit -> 'a) list -> 'a list
+(** Execute every thunk, returning results in input order.  The caller
+    participates in draining the task queue.  If any thunk raises, the
+    first exception (in input order) is re-raised after all tasks have
+    finished. *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ~jobs f items] is [List.map f items] evaluated on a transient
+    pool of [jobs] workers, results in input order.  [jobs] defaults to
+    1 (sequential) so library callers opt in explicitly; the binaries
+    default their [--jobs] flags to {!default_jobs}. *)
+
+val with_pool : ?jobs:int -> (pool -> 'a) -> 'a
+(** Create a pool, run [f], and shut the pool down (also on
+    exceptions). *)

@@ -1,8 +1,8 @@
 let over values ~f = List.map (fun v -> (v, f v)) values
 
-let repeated ~trials ~f =
+let repeated ?(jobs = 1) ~trials ~f () =
   if trials <= 0 then invalid_arg "Sweep.repeated: trials must be positive";
-  let samples = List.init trials (fun trial -> f ~trial) in
+  let samples = Parallel.map ~jobs (fun trial -> f ~trial) (List.init trials Fun.id) in
   let mean = List.fold_left ( +. ) 0.0 samples /. float_of_int trials in
   let mn = List.fold_left Float.min infinity samples in
   let mx = List.fold_left Float.max neg_infinity samples in
@@ -35,7 +35,7 @@ type recovery_row = {
 }
 
 let fault_recovery ?(spec = Scenario.default_spec) ?(loss_rates = [ 0.0; 0.05; 0.15 ])
-    ?(approaches = Approach.all) () =
+    ?(approaches = Approach.all) ?(jobs = 1) () =
   let group = Scenario.group in
   let run approach loss =
     let spec = { spec with Scenario.approach } in
@@ -72,7 +72,11 @@ let fault_recovery ?(spec = Scenario.default_spec) ?(loss_rates = [ 0.0; 0.05; 0
       unrecovered = r.Recovery.unrecovered;
       samples = List.length r.Recovery.samples }
   in
-  List.concat_map (fun loss -> List.map (fun a -> run a loss) approaches) loss_rates
+  (* Each grid point builds its own scenario (own Sim, own RNG
+     streams), so the runs are independent and the parallel map is
+     row-for-row identical to the sequential one. *)
+  List.concat_map (fun loss -> List.map (fun a -> (a, loss)) approaches) loss_rates
+  |> Parallel.map ~jobs (fun (a, loss) -> run a loss)
 
 type flap_row = {
   flap_count : int;
@@ -81,7 +85,8 @@ type flap_row = {
   flap_unrecovered : int;
 }
 
-let flap_recovery ?(spec = Scenario.default_spec) ?(flap_counts = [ 1; 2; 4 ]) () =
+let flap_recovery ?(spec = Scenario.default_spec) ?(flap_counts = [ 1; 2; 4 ]) ?(jobs = 1)
+    () =
   let group = Scenario.group in
   let run count =
     let scenario = Scenario.paper_figure1 spec in
@@ -107,4 +112,4 @@ let flap_recovery ?(spec = Scenario.default_spec) ?(flap_counts = [ 1; 2; 4 ]) (
       flap_max_recovery_s = r.Recovery.max_recovery_s;
       flap_unrecovered = r.Recovery.unrecovered }
   in
-  List.map run flap_counts
+  Parallel.map ~jobs run flap_counts

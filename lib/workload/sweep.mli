@@ -3,9 +3,12 @@
 val over : 'a list -> f:('a -> 'b) -> ('a * 'b) list
 (** Run [f] for every parameter value, pairing inputs with results. *)
 
-val repeated : trials:int -> f:(trial:int -> float) -> float * float * float
-(** [repeated ~trials ~f] runs [f] for trials 0..n-1 and returns
-    (mean, min, max). *)
+val repeated :
+  ?jobs:int -> trials:int -> f:(trial:int -> float) -> unit -> float * float * float
+(** [repeated ~trials ~f ()] runs [f] for trials 0..n-1 and returns
+    (mean, min, max).  [jobs] (default 1) fans the trials across
+    domains; aggregation order is fixed, so the result does not depend
+    on [jobs]. *)
 
 val geometric : lo:float -> hi:float -> steps:int -> float list
 (** Geometrically spaced values from [lo] to [hi] inclusive. *)
@@ -31,6 +34,7 @@ val fault_recovery :
   ?spec:Mmcast.Scenario.spec ->
   ?loss_rates:float list ->
   ?approaches:Mmcast.Approach.t list ->
+  ?jobs:int ->
   unit ->
   recovery_row list
 (** For every (loss rate, delivery approach) pair: R3 roams L4→L6 at
@@ -38,7 +42,11 @@ val fault_recovery :
     how long after the repair R3 receives data again.  Ambient loss
     also hits the control traffic, so recovery is paced by the Graft
     retry, MLD robustness and Binding-Update backoff timers.  Defaults:
-    loss rates [0; 0.05; 0.15], all four approaches. *)
+    loss rates [0; 0.05; 0.15], all four approaches.
+
+    [jobs] (default 1) runs the (loss rate × approach) grid on a
+    {!Parallel} pool; every grid point owns its scenario, so the rows
+    are field-for-field identical whatever [jobs] is. *)
 
 type flap_row = {
   flap_count : int;
@@ -48,7 +56,7 @@ type flap_row = {
 }
 
 val flap_recovery :
-  ?spec:Mmcast.Scenario.spec -> ?flap_counts:int list -> unit -> flap_row list
+  ?spec:Mmcast.Scenario.spec -> ?flap_counts:int list -> ?jobs:int -> unit -> flap_row list
 (** Sweep the number of 10 s flaps of L3 spread over a 320 s run
     (default 1, 2, 4) and report recovery statistics across all repair
-    marks. *)
+    marks.  [jobs] as in {!fault_recovery}. *)

@@ -94,7 +94,59 @@ let event_queue_properties =
         in
         List.for_all not (drain []))
   in
-  List.map QCheck_alcotest.to_alcotest [ sorted_pop_matches_sort; cancel_any_subset ]
+  let interleavings_match_model =
+    (* Arbitrary interleavings of push / cancel / pop, checked against a
+       reference model: pops must come out in (time, insertion) order
+       and never yield a cancelled entry, no matter when the cancel
+       lands relative to other operations. *)
+    QCheck.Test.make ~name:"push/cancel/pop interleavings match reference model"
+      ~count:300
+      QCheck.(list (triple (int_range 0 3) (int_range 0 20) (int_range 0 15)))
+      (fun ops ->
+        let q = Event_queue.create () in
+        let next_id = ref 0 in
+        (* Live model entries: (time, id, handle), unsorted. *)
+        let live = ref [] in
+        let ok = ref true in
+        List.iter
+          (fun (tag, t_raw, pick) ->
+            match tag with
+            | 0 | 1 ->
+              (* push (biased to half the operations) *)
+              let time = float_of_int t_raw in
+              let id = !next_id in
+              incr next_id;
+              let h = Event_queue.push q time id in
+              live := (time, id, h) :: !live
+            | 2 -> (
+              (* cancel an arbitrary live entry *)
+              match !live with
+              | [] -> ()
+              | entries ->
+                let (_, _, h) as victim = List.nth entries (pick mod List.length entries) in
+                Event_queue.cancel q h;
+                live := List.filter (fun e -> e != victim) entries)
+            | _ -> (
+              (* pop: the model's minimum by (time, insertion id) *)
+              let expected =
+                List.fold_left
+                  (fun acc ((t, id, _) as e) ->
+                    match acc with
+                    | None -> Some e
+                    | Some (bt, bid, _) when t < bt || (t = bt && id < bid) -> Some e
+                    | Some _ -> acc)
+                  None !live
+              in
+              match (Event_queue.pop q, expected) with
+              | None, None -> ()
+              | Some (t, id), Some (et, eid, _) when t = et && id = eid ->
+                live := List.filter (fun (_, i, _) -> i <> id) !live
+              | _ -> ok := false))
+          ops;
+        !ok && Event_queue.size q = List.length !live)
+  in
+  List.map QCheck_alcotest.to_alcotest
+    [ sorted_pop_matches_sort; cancel_any_subset; interleavings_match_model ]
 
 let sim_tests =
   [ Alcotest.test_case "clock advances to event times" `Quick (fun () ->
@@ -383,7 +435,27 @@ let trace_tests =
         Alcotest.(check int) "empty" 0 (Trace.count tr);
         Trace.set_enabled tr true;
         Trace.record tr ~category:"x" "kept";
-        Alcotest.(check int) "one" 1 (Trace.count tr))
+        Alcotest.(check int) "one" 1 (Trace.count tr));
+    Alcotest.test_case "recordf never renders when disabled" `Quick (fun () ->
+        (* Regression: recordf used to run the format through kasprintf
+           before looking at [enabled], so a disabled trace still paid
+           for (and side-effected through) its arguments' printers. *)
+        let sim = Sim.create () in
+        let tr = Trace.create ~enabled:false sim in
+        let renders = ref 0 in
+        let probe fmt =
+          incr renders;
+          Format.pp_print_string fmt "probe"
+        in
+        Trace.recordf tr ~category:"x" "value=%t n=%d" probe 7;
+        Alcotest.(check int) "printer not invoked" 0 !renders;
+        Alcotest.(check int) "nothing recorded" 0 (Trace.count tr);
+        Trace.set_enabled tr true;
+        Trace.recordf tr ~category:"x" "value=%t n=%d" probe 7;
+        Alcotest.(check int) "printer invoked once enabled" 1 !renders;
+        match Trace.records tr with
+        | [ r ] -> Alcotest.(check string) "rendered" "value=probe n=7" r.Trace.message
+        | other -> Alcotest.failf "expected 1 record, got %d" (List.length other))
   ]
 
 let odds_and_ends =

@@ -16,13 +16,13 @@ let sweep_tests =
           (Workload.Sweep.over [ 1; 2; 3 ] ~f:(fun x -> x * x)));
     Alcotest.test_case "repeated aggregates" `Quick (fun () ->
         let mean, mn, mx =
-          Workload.Sweep.repeated ~trials:4 ~f:(fun ~trial -> float_of_int trial)
+          Workload.Sweep.repeated ~trials:4 ~f:(fun ~trial -> float_of_int trial) ()
         in
         Alcotest.(check (float 1e-9)) "mean" 1.5 mean;
         Alcotest.(check (float 1e-9)) "min" 0.0 mn;
         Alcotest.(check (float 1e-9)) "max" 3.0 mx);
     Alcotest.test_case "repeated rejects zero trials" `Quick (fun () ->
-        match Workload.Sweep.repeated ~trials:0 ~f:(fun ~trial:_ -> 0.0) with
+        match Workload.Sweep.repeated ~trials:0 ~f:(fun ~trial:_ -> 0.0) () with
         | _ -> Alcotest.fail "expected rejection"
         | exception Invalid_argument _ -> ());
     Alcotest.test_case "linear endpoints" `Quick (fun () ->
