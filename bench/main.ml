@@ -536,6 +536,107 @@ let faults () =
      binding-update backoff timescale, and tunnelled delivery pays the extra\n\
      unicast leg."
 
+(* ---- chaos soak: randomized fault schedules under the monitor ---- *)
+
+let soak () =
+  section "Soak: randomized recoverable fault schedules under the invariant monitor";
+  let schedules = if !quick_setting then 5 else 20 in
+  let jobs = !jobs_setting in
+  let rows = Check.Soak.run ~schedules ~jobs () in
+  Printf.printf "  %-34s %5s %6s %6s %5s %5s %5s %4s\n" "approach" "seed" "sent" "rx"
+    "dup" "drop" "marks" "viol";
+  List.iter
+    (fun (r : Check.Soak.row) ->
+      Printf.printf "  %-34s %5d %6d %6d %5d %5d %5d %4d\n"
+        (Approach.name r.Check.Soak.soak_approach)
+        r.Check.Soak.soak_seed r.Check.Soak.soak_sent r.Check.Soak.soak_delivered
+        r.Check.Soak.soak_duplicates r.Check.Soak.soak_malformed
+        (List.length r.Check.Soak.soak_marks)
+        (List.length r.Check.Soak.soak_violations))
+    rows;
+  let total_violations =
+    List.fold_left
+      (fun acc r -> acc + List.length r.Check.Soak.soak_violations)
+      0 rows
+  in
+  List.iter
+    (fun (r : Check.Soak.row) ->
+      List.iter
+        (fun v ->
+          Format.printf "  seed %d, %s:@,%a@." r.Check.Soak.soak_seed
+            (Approach.name r.Check.Soak.soak_approach)
+            Check.Monitor.pp_violation v)
+        r.Check.Soak.soak_violations)
+    rows;
+  (* Machine-readable report alongside the table.  [%S] is not a JSON
+     escaper (it writes decimal [\ddd] escapes for non-ASCII bytes), so
+     escape by hand and pass UTF-8 bytes through. *)
+  let json_string s =
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  in
+  let violation_json (v : Check.Monitor.violation) =
+    Printf.sprintf
+      "{\"invariant\": %s, \"at_s\": %.3f, \"where\": %s, \"detail\": %s}"
+      (json_string (Check.Monitor.invariant_name v.Check.Monitor.v_invariant))
+      v.Check.Monitor.v_at
+      (json_string v.Check.Monitor.v_where)
+      (json_string v.Check.Monitor.v_detail)
+  in
+  let row_json (r : Check.Soak.row) =
+    Printf.sprintf
+      "    {\"approach\": %s, \"seed\": %d, \"marks\": [%s], \"moves\": %d, \"sent\": \
+       %d, \"delivered\": %d, \"duplicates\": %d, \"malformed_drops\": %d, \
+       \"samples\": %d, \"bound_s\": %.3f, \"violations\": [%s]}"
+      (json_string (Approach.name r.Check.Soak.soak_approach))
+      r.Check.Soak.soak_seed
+      (String.concat ", " (List.map json_string r.Check.Soak.soak_marks))
+      r.Check.Soak.soak_moves r.Check.Soak.soak_sent r.Check.Soak.soak_delivered
+      r.Check.Soak.soak_duplicates r.Check.Soak.soak_malformed
+      r.Check.Soak.soak_samples r.Check.Soak.soak_bound
+      (String.concat ", " (List.map violation_json r.Check.Soak.soak_violations))
+  in
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"schema\": \"mmcast-bench-soak/1\",\n\
+      \  \"duration_s\": %.1f,\n\
+      \  \"schedules_per_approach\": %d,\n\
+      \  \"quick\": %b,\n\
+      \  \"total_violations\": %d,\n\
+      \  \"runs\": [\n%s\n  ]\n\
+       }"
+      Check.Soak.duration schedules !quick_setting total_violations
+      (String.concat ",\n" (List.map row_json rows))
+  in
+  let path = "BENCH_soak.json" in
+  let oc = open_out path in
+  output_string oc json;
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "\n  JSON report written to %s\n" path;
+  if total_violations > 0 then begin
+    Printf.eprintf "soak: %d invariant violation(s) detected\n" total_violations;
+    exit 1
+  end;
+  print_endline
+    "\nEvery run is wire-exact (each frame serialized, optionally corrupted, and\n\
+     re-parsed before delivery); the monitor verified assert winners, querier\n\
+     election, loop freedom, prune/graft consistency, tunnel coherence and\n\
+     eventual delivery throughout — zero violations."
+
 (* ---- microbenchmarks ---- *)
 
 let run_micro name tests =
@@ -608,7 +709,7 @@ let micro () =
       Test.make ~name:"codec: encode binding update"
         (Staged.stage (fun () -> ignore (Ipv6.Codec.encode bu_packet)));
       Test.make ~name:"codec: decode binding update"
-        (Staged.stage (fun () -> ignore (Ipv6.Codec.decode_exn bu_wire)));
+        (Staged.stage (fun () -> ignore (Ipv6.Codec.decode bu_wire)));
       Test.make ~name:"routing: full BFS table (figure-1 net)"
         (Staged.stage (fun () ->
              let r = Net.Routing.create routing_topo in
@@ -790,6 +891,7 @@ let sections =
     ("churn", churn);
     ("faults", faults);
     ("scale", scale);
+    ("soak", soak);
     ("micro", micro);
     ("perf", perf) ]
 

@@ -293,6 +293,113 @@ let trace_term =
       (const trace_cmd $ approach_arg $ seed_arg $ unsolicited_arg $ tquery_arg $ until
       $ category))
 
+(* ---- check ---- *)
+
+let broken_graft_demo ~seed =
+  (* A deliberately broken configuration: Grafts disabled.  Once R3's
+     branch is pruned it can never be restored, which the monitor must
+     catch (prune-graft and, eventually, black-hole). *)
+  let spec =
+    { Scenario.default_spec with
+      Scenario.seed;
+      mld = Mld.Mld_config.with_query_interval 15.0 Mld.Mld_config.default;
+      pim = { Pimdm.Pim_config.default with Pimdm.Pim_config.enable_graft = false }
+    }
+  in
+  let scenario = Scenario.paper_figure1 spec in
+  let monitor =
+    Check.Monitor.attach
+      ~config:{ Check.Monitor.default_config with Check.Monitor.sustain = Some 10.0 }
+      scenario
+  in
+  Traffic.at scenario 1.0 (fun () -> Scenario.subscribe_receivers scenario group);
+  ignore
+    (Traffic.cbr scenario (Scenario.host scenario "S") ~group ~from_t:5.0 ~until:115.0
+       ~interval:0.2 ~bytes:256);
+  (* R3 leaves, its branch is pruned, then it re-joins: the Graft that
+     should restore the branch is the one we disabled. *)
+  Traffic.at scenario 30.0 (fun () ->
+      Host_stack.unsubscribe (Scenario.host scenario "R3") group);
+  Traffic.at scenario 45.0 (fun () ->
+      Host_stack.subscribe (Scenario.host scenario "R3") group);
+  Scenario.run_until scenario 120.0;
+  Check.Monitor.detach monitor;
+  Format.printf "deliberately broken configuration (enable_graft = false):@.%a@."
+    Check.Monitor.pp_report monitor;
+  if Check.Monitor.violation_count monitor = 0 then
+    `Error (false, "monitor failed to catch the disabled-graft configuration")
+  else `Ok ()
+
+let check_cmd approach seed schedules jobs disable_graft =
+  if disable_graft then broken_graft_demo ~seed
+  else if approach < 0 || approach > 4 then
+    `Error (false, "approach must be 1-4, or 0 for all four")
+  else begin
+    let approaches =
+      if approach = 0 then Approach.all else [ Approach.of_number approach ]
+    in
+    let tasks =
+      List.concat_map
+        (fun a -> List.init schedules (fun i -> (a, seed + i)))
+        approaches
+    in
+    let rows =
+      Parallel.map ~jobs (fun (a, s) -> Check.Soak.run_one ~approach:a ~seed:s) tasks
+    in
+    Printf.printf "%-34s %5s %6s %6s %5s %5s %7s %4s\n" "approach" "seed" "sent" "rx"
+      "dup" "drop" "samples" "viol";
+    List.iter
+      (fun (r : Check.Soak.row) ->
+        Printf.printf "%-34s %5d %6d %6d %5d %5d %7d %4d\n"
+          (Approach.name r.Check.Soak.soak_approach)
+          r.Check.Soak.soak_seed r.Check.Soak.soak_sent r.Check.Soak.soak_delivered
+          r.Check.Soak.soak_duplicates r.Check.Soak.soak_malformed
+          r.Check.Soak.soak_samples
+          (List.length r.Check.Soak.soak_violations))
+      rows;
+    let total =
+      List.fold_left
+        (fun acc (r : Check.Soak.row) -> acc + List.length r.Check.Soak.soak_violations)
+        0 rows
+    in
+    List.iter
+      (fun (r : Check.Soak.row) ->
+        List.iter
+          (fun v ->
+            Format.printf "@.seed %d, %s:@.%a@." r.Check.Soak.soak_seed
+              (Approach.name r.Check.Soak.soak_approach)
+              Check.Monitor.pp_violation v)
+          r.Check.Soak.soak_violations)
+      rows;
+    match rows with
+    | [] -> `Error (false, "no runs selected")
+    | r :: _ ->
+      Printf.printf
+        "\n%d run(s) of %.0f s each under randomized recoverable faults; convergence \
+         bound %.1f s; %d violation(s)\n"
+        (List.length rows) Check.Soak.duration r.Check.Soak.soak_bound total;
+      if total > 0 then `Error (false, "invariant violations detected") else `Ok ()
+  end
+
+let check_term =
+  let approach =
+    let doc = "Approach 1-4 to soak, or 0 for all four." in
+    Arg.(value & opt int 0 & info [ "a"; "approach" ] ~docv:"N" ~doc)
+  in
+  let schedules =
+    let doc = "Randomized fault schedules per approach." in
+    Arg.(value & opt int 3 & info [ "schedules" ] ~docv:"K" ~doc)
+  in
+  let disable_graft =
+    let doc =
+      "Instead of the soak, run a deliberately broken configuration (PIM Grafts \
+       disabled) and show the monitor catching it."
+    in
+    Arg.(value & flag & info [ "disable-graft" ] ~doc)
+  in
+  Term.(
+    ret (const check_cmd $ approach $ seed_arg $ schedules $ jobs_arg $ disable_graft))
+
 (* ---- assembly ---- *)
 
 let cmds =
@@ -304,7 +411,13 @@ let cmds =
       (Cmd.info "compare" ~doc:"Quantitative Table 1: all four approaches")
       compare_term;
     Cmd.v (Cmd.info "sweep" ~doc:"Section 4.4 MLD timer sweep") sweep_term;
-    Cmd.v (Cmd.info "trace" ~doc:"Dump the protocol event trace") trace_term ]
+    Cmd.v (Cmd.info "trace" ~doc:"Dump the protocol event trace") trace_term;
+    Cmd.v
+      (Cmd.info "check"
+         ~doc:
+           "Soak the protocol stack under the runtime invariant monitor and \
+            randomized recoverable faults")
+      check_term ]
 
 let () =
   let info =

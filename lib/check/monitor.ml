@@ -1,0 +1,750 @@
+open Ipv6
+open Net
+open Mmcast
+module Link_id = Ids.Link_id
+module P = Pimdm.Pim_router
+
+type invariant =
+  | Assert_winner
+  | Mld_querier
+  | Forwarding_loop
+  | Prune_graft
+  | Tunnel_coherence
+  | Black_hole
+
+let invariant_name = function
+  | Assert_winner -> "assert-winner"
+  | Mld_querier -> "mld-querier"
+  | Forwarding_loop -> "forwarding-loop"
+  | Prune_graft -> "prune-graft"
+  | Tunnel_coherence -> "tunnel-coherence"
+  | Black_hole -> "black-hole"
+
+type violation = {
+  v_invariant : invariant;
+  v_at : Engine.Time.t;
+  v_where : string;
+  v_detail : string;
+  v_trace : Engine.Trace.record list;
+}
+
+type config = {
+  sample_interval : Engine.Time.t;
+  sustain : Engine.Time.t option;
+  trace_excerpt : int;
+}
+
+let default_config = { sample_interval = 0.5; sustain = None; trace_excerpt = 12 }
+
+let bound_for_spec (spec : Scenario.spec) =
+  let mld = spec.Scenario.mld in
+  let pim = spec.Scenario.pim in
+  let mip = spec.Scenario.mipv6 in
+  (* Worst-case control-plane repair: detect the movement, wait out a
+     full MLD query/report cycle, let the prune-override and a couple
+     of graft retries play out, and allow the Binding Update
+     retransmission backoff (1+2+4 s) to push a registration through. *)
+  let control_path =
+    mip.Mipv6.Mipv6_config.movement_detection_delay
+    +. mld.Mld.Mld_config.query_interval
+    +. mld.Mld.Mld_config.query_response_interval
+    +. pim.Pimdm.Pim_config.prune_delay
+    +. (2.0 *. pim.Pimdm.Pim_config.graft_retry)
+    +. pim.Pimdm.Pim_config.join_override_max
+    +. (7.0 *. mip.Mipv6.Mipv6_config.ack_initial_timeout)
+  (* A binding damaged on the wire (destination options carry no
+     checksum) self-heals at the next refresh. *)
+  and binding_path =
+    (mip.Mipv6.Mipv6_config.refresh_fraction *. mip.Mipv6.Mipv6_config.binding_lifetime)
+    +. (7.0 *. mip.Mipv6.Mipv6_config.ack_initial_timeout)
+  (* A restarted router rebuilds pruned-branch state from State
+     Refresh (when enabled): re-learn membership over a query cycle,
+     wait out a refresh period, let an Assert re-elect around the
+     restart, then graft.  Without State Refresh that rebuild is only
+     bounded by the prune holdtime, so it contributes nothing here and
+     fault schedules must not erase the state of a pruned branch. *)
+  and crash_path =
+    match pim.Pimdm.Pim_config.state_refresh_interval with
+    | None -> 0.0
+    | Some interval ->
+      mld.Mld.Mld_config.query_interval
+      +. mld.Mld.Mld_config.query_response_interval
+      +. interval
+      +. pim.Pimdm.Pim_config.assert_time
+      +. (2.0 *. pim.Pimdm.Pim_config.graft_retry)
+  in
+  Float.max (Float.max control_path binding_path) crash_path +. 5.0
+
+type host_state = {
+  mutable hs_attach : Engine.Time.t;
+  mutable hs_subs : Addr.t list;
+}
+
+type t = {
+  scenario : Scenario.t;
+  cfg : config;
+  bound : Engine.Time.t;
+  zero_querier_bound : Engine.Time.t;
+      (* losing every querier is only repaired by the
+         Other-Querier-Present timeout, which may exceed [bound] *)
+  faults : Faults.t option;
+  links : Link_id.t list;
+  routers : (string * Router_stack.t) list;
+  hosts : (string * Host_stack.t) list;
+  mutable running : bool;
+  mutable samples : int;
+  mutable violations_rev : violation list;
+  mutable count : int;
+  (* [pending] holds the time each liveness condition was first seen;
+     [opened] dedups a sustained condition into one violation record. *)
+  pending : (string, Engine.Time.t) Hashtbl.t;
+  opened : (string, unit) Hashtbl.t;
+  mutable last_disruption : Engine.Time.t;
+  mutable last_fired : int;
+  (* While duplication or corruption is injected (and a short margin
+     after), per-packet loop accounting is unsound: injected copies
+     and damaged headers mimic loop symptoms without one existing. *)
+  mutable chaos_until : Engine.Time.t;
+  mutable ttl_baseline : int;
+  host_state : (string, host_state) Hashtbl.t;
+  addr_owner : (Addr.t, string * Host_stack.t * Link_id.t) Hashtbl.t;
+  tx_counts : (string, int ref) Hashtbl.t;
+  tx_limit : (int, int) Hashtbl.t;  (* link -> max legitimate transmits *)
+  link_names : (int, string) Hashtbl.t;
+  last_data_tx : (Addr.t, Engine.Time.t) Hashtbl.t;  (* group -> time *)
+  src_data_tx : (Addr.t * Addr.t, Engine.Time.t) Hashtbl.t;  (* (src, group) *)
+  link_data_tx : (int * Addr.t * Addr.t, Engine.Time.t) Hashtbl.t;
+      (* (link, src, group) — a roamed sender's stale care-of source
+         must not inherit liveness from the home source's stream *)
+  progress : (string * Addr.t, int) Hashtbl.t;  (* (host, group) -> rx+dup *)
+}
+
+let net t = t.scenario.Scenario.net
+let topo t = Network.topology (net t)
+let now t = Engine.Sim.now t.scenario.Scenario.sim
+let bound t = t.bound
+let samples t = t.samples
+let violations t = List.rev t.violations_rev
+let violation_count t = t.count
+
+let record_keyed t ~at ~key ~inv ~where ~detail =
+  if not (Hashtbl.mem t.opened key) then begin
+    Hashtbl.replace t.opened key ();
+    let v =
+      { v_invariant = inv;
+        v_at = at;
+        v_where = where;
+        v_detail = detail;
+        v_trace = Engine.Trace.recent (Network.trace (net t)) ~n:t.cfg.trace_excerpt }
+    in
+    t.violations_rev <- v :: t.violations_rev;
+    t.count <- t.count + 1
+  end
+
+(* [items] are the (suffix, invariant, where, detail, threshold)
+   conditions of one check that hold right now.  A condition becomes a
+   violation once it has held for its threshold; one that stopped
+   holding has its clock and dedup entry dropped so a later recurrence
+   is timed (and reported) afresh. *)
+let sustain_set t ~at ~prefix items =
+  let live = Hashtbl.create 16 in
+  List.iter
+    (fun (suffix, inv, where, detail, threshold) ->
+      let key = prefix ^ suffix in
+      Hashtbl.replace live key ();
+      match Hashtbl.find_opt t.pending key with
+      | None -> Hashtbl.replace t.pending key at
+      | Some since ->
+        if Engine.Time.sub at since >= threshold then
+          record_keyed t ~at ~key ~inv ~where ~detail:(detail ()))
+    items;
+  let plen = String.length prefix in
+  let stale =
+    Hashtbl.fold
+      (fun k _ acc ->
+        if
+          String.length k >= plen
+          && String.sub k 0 plen = prefix
+          && not (Hashtbl.mem live k)
+        then k :: acc
+        else acc)
+      t.pending []
+  in
+  List.iter
+    (fun k ->
+      Hashtbl.remove t.pending k;
+      Hashtbl.remove t.opened k)
+    stale
+
+let chaos_active_now t =
+  let net = net t in
+  List.exists
+    (fun l -> Network.corrupt_rate net l > 0.0 || Network.duplicate_rate net l > 0.0)
+    t.links
+
+let in_chaos t ~at =
+  if Engine.Time.compare at t.chaos_until <= 0 then true
+  else if chaos_active_now t then begin
+    t.chaos_until <- Engine.Time.add at 2.0;
+    true
+  end
+  else false
+
+let link_name_of t li =
+  match Hashtbl.find_opt t.link_names li with
+  | Some n -> n
+  | None -> Printf.sprintf "link#%d" li
+
+(* ---- transmit-observer checks (per packet, event time) ---- *)
+
+let bump_tx t ~at ~li ~limit key mk_detail =
+  (* The table grows with traffic volume; a periodic wholesale reset
+     keeps it bounded — an actual loop re-crosses its links within
+     milliseconds and re-trips the counter immediately. *)
+  if Hashtbl.length t.tx_counts > 65536 then Hashtbl.reset t.tx_counts;
+  let count =
+    match Hashtbl.find_opt t.tx_counts key with
+    | Some r ->
+      incr r;
+      !r
+    | None ->
+      Hashtbl.replace t.tx_counts key (ref 1);
+      1
+  in
+  if count > limit && not (in_chaos t ~at) then
+    record_keyed t ~at ~key:("loop|" ^ key) ~inv:Forwarding_loop
+      ~where:(link_name_of t li) ~detail:(mk_detail count)
+
+let low_hop_limit t ~at ~li (packet : Packet.t) =
+  if packet.Packet.hop_limit <= 4 && not (in_chaos t ~at) then
+    record_keyed t ~at
+      ~key:
+        (Printf.sprintf "lowhl|%s|%s"
+           (Addr.to_string packet.Packet.src)
+           (Addr.to_string packet.Packet.dst))
+      ~inv:Forwarding_loop ~where:(link_name_of t li)
+      ~detail:
+        (Printf.sprintf
+           "unicast packet %s -> %s still in transit with hop limit %d — it has \
+            crossed far more routers than the network holds"
+           (Addr.to_string packet.Packet.src)
+           (Addr.to_string packet.Packet.dst)
+           packet.Packet.hop_limit)
+
+let tunnel_coherence t ~at ~li (packet : Packet.t) =
+  match Hashtbl.find_opt t.addr_owner packet.Packet.dst with
+  | None -> ()
+  | Some (hname, h, owner_link) ->
+    let current = Host_stack.current_link h in
+    if Link_id.to_int current <> Link_id.to_int owner_link then begin
+      let settled_since =
+        Float.max t.last_disruption (Host_stack.last_attach_time h)
+      in
+      if Engine.Time.sub at settled_since > t.bound then
+        record_keyed t ~at
+          ~key:(Printf.sprintf "tunnel|%s|%s" hname (Addr.to_string packet.Packet.dst))
+          ~inv:Tunnel_coherence ~where:hname
+          ~detail:
+            (Printf.sprintf
+               "packet tunnelled on %s to %s — %s's address on %s — long after %s \
+                moved to %s and its binding should have been refreshed"
+               (link_name_of t li)
+               (Addr.to_string packet.Packet.dst)
+               hname
+               (link_name_of t (Link_id.to_int owner_link))
+               hname
+               (link_name_of t (Link_id.to_int current)))
+    end
+
+let on_transmit t link (packet : Packet.t) =
+  if t.running then begin
+    let at = now t in
+    let li = Link_id.to_int link in
+    let mcast = Packet.is_multicast_dst packet in
+    match packet.Packet.payload with
+    | Packet.Data { stream_id; seq; _ } ->
+      if mcast then begin
+        Hashtbl.replace t.last_data_tx packet.Packet.dst at;
+        Hashtbl.replace t.src_data_tx (packet.Packet.src, packet.Packet.dst) at;
+        Hashtbl.replace t.link_data_tx (li, packet.Packet.src, packet.Packet.dst) at;
+        let limit =
+          match Hashtbl.find_opt t.tx_limit li with
+          | Some l -> l
+          | None -> 3
+        in
+        bump_tx t ~at ~li ~limit
+          (Printf.sprintf "m|%s|%s|%d|%d|%d"
+             (Addr.to_string packet.Packet.src)
+             (Addr.to_string packet.Packet.dst)
+             stream_id seq li)
+          (fun count ->
+            Printf.sprintf
+              "multicast datagram (stream %d, seq %d) from %s crossed %s %d times \
+               where at most %d sender/assert transmissions are possible"
+              stream_id seq
+              (Addr.to_string packet.Packet.src)
+              (link_name_of t li) count limit)
+      end
+      else begin
+        bump_tx t ~at ~li ~limit:2
+          (Printf.sprintf "u|%s|%s|%d|%d|%d"
+             (Addr.to_string packet.Packet.src)
+             (Addr.to_string packet.Packet.dst)
+             stream_id seq li)
+          (fun count ->
+            Printf.sprintf
+              "unicast datagram (stream %d, seq %d) %s -> %s crossed %s %d times"
+              stream_id seq
+              (Addr.to_string packet.Packet.src)
+              (Addr.to_string packet.Packet.dst)
+              (link_name_of t li) count);
+        low_hop_limit t ~at ~li packet
+      end
+    | Packet.Encapsulated inner ->
+      (match inner.Packet.payload with
+       | Packet.Data { stream_id; seq; _ } when Packet.is_multicast_dst inner ->
+         Hashtbl.replace t.last_data_tx inner.Packet.dst at;
+         Hashtbl.replace t.src_data_tx (inner.Packet.src, inner.Packet.dst) at;
+         if not mcast then
+           bump_tx t ~at ~li ~limit:2
+             (Printf.sprintf "t|%s|%d|%d|%d"
+                (Addr.to_string packet.Packet.dst)
+                stream_id seq li)
+             (fun count ->
+               Printf.sprintf
+                 "tunnelled datagram (stream %d, seq %d) for %s crossed %s %d times"
+                 stream_id seq
+                 (Addr.to_string packet.Packet.dst)
+                 (link_name_of t li) count)
+       | _ -> ());
+      if not mcast then begin
+        low_hop_limit t ~at ~li packet;
+        tunnel_coherence t ~at ~li packet
+      end
+    | Packet.Mld _ | Packet.Pim _ | Packet.Nd _ | Packet.Empty -> ()
+  end
+
+(* ---- sampled checks (periodic, snapshot-based) ---- *)
+
+let poll_disruption t =
+  let d = ref false in
+  (match t.faults with
+   | None -> ()
+   | Some f ->
+     let n = Faults.events_fired f in
+     if n <> t.last_fired then begin
+       t.last_fired <- n;
+       d := true
+     end);
+  List.iter
+    (fun (name, h) ->
+      let st = Hashtbl.find t.host_state name in
+      let attach = Host_stack.last_attach_time h in
+      if attach <> st.hs_attach then begin
+        st.hs_attach <- attach;
+        d := true
+      end;
+      let subs = Host_stack.subscriptions h in
+      if subs <> st.hs_subs then begin
+        st.hs_subs <- subs;
+        d := true
+      end)
+    t.hosts;
+  !d
+
+let unsettled t =
+  let net = net t in
+  List.exists
+    (fun l ->
+      (not (Network.link_is_up net l))
+      || Network.loss_rate net l >= 0.5
+      || Network.corrupt_rate net l >= 0.5)
+    t.links
+  || List.exists (fun (_, r) -> Router_stack.is_failed r) t.routers
+
+let check_querier t ~at =
+  let topo = topo t in
+  let items =
+    List.concat_map
+      (fun l ->
+        let li = Link_id.to_int l in
+        let lname = link_name_of t li in
+        let snaps =
+          List.filter_map
+            (fun (name, r) ->
+              if Router_stack.is_failed r then None
+              else if not (Topology.is_attached topo (Router_stack.node_id r) l) then
+                None
+              else
+                match Router_stack.mld_on r l with
+                | None -> None
+                | Some m ->
+                  let s = Mld.Mld_router.snapshot m in
+                  if s.Mld.Mld_router.snap_running then Some (name, s) else None)
+            t.routers
+        in
+        let queriers =
+          List.filter_map
+            (fun (name, s) -> if s.Mld.Mld_router.snap_querier then Some name else None)
+            snaps
+        in
+        let multi =
+          if List.length queriers >= 2 then
+            [ ( Printf.sprintf "multi|%d" li,
+                Mld_querier,
+                lname,
+                (fun () ->
+                  Printf.sprintf
+                    "%d simultaneous MLD queriers on %s (%s); the RFC 2710 election \
+                     must converge to the lowest link-local address"
+                    (List.length queriers) lname
+                    (String.concat ", " queriers)),
+                t.bound ) ]
+          else []
+        in
+        let zero =
+          if snaps <> [] && queriers = [] then
+            [ ( Printf.sprintf "zero|%d" li,
+                Mld_querier,
+                lname,
+                (fun () ->
+                  Printf.sprintf
+                    "no MLD querier on %s although %d router(s) run MLD there — the \
+                     Other-Querier-Present timeout failed to promote one"
+                    lname (List.length snaps)),
+                t.zero_querier_bound ) ]
+          else []
+        in
+        multi @ zero)
+      t.links
+  in
+  sustain_set t ~at ~prefix:"querier|" items
+
+let check_assert t ~at =
+  let forwarding : (int * Addr.t * Addr.t, string list) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (name, r) ->
+      if not (Router_stack.is_failed r) then
+        List.iter
+          (fun e ->
+            List.iter
+              (fun o ->
+                if o.P.snap_forwarding then begin
+                  let key = (o.P.snap_oif, e.P.snap_source, e.P.snap_group) in
+                  let prev = Option.value (Hashtbl.find_opt forwarding key) ~default:[] in
+                  Hashtbl.replace forwarding key (name :: prev)
+                end)
+              e.P.snap_oifs)
+          (P.snapshot (Router_stack.pim r)))
+    t.routers;
+  let items =
+    Hashtbl.fold
+      (fun (li, src, grp) names acc ->
+        (* Only meaningful on links that actually carry the stream:
+           asserts are data-driven, so without traffic two routers may
+           validly both consider an interface forwarding. *)
+        let data_recent =
+          match Hashtbl.find_opt t.link_data_tx (li, src, grp) with
+          | Some tx -> Engine.Time.sub at tx < 5.0
+          | None -> false
+        in
+        if List.length names >= 2 && data_recent then
+          ( Printf.sprintf "%d|%s|%s" li (Addr.to_string src) (Addr.to_string grp),
+            Assert_winner,
+            link_name_of t li,
+            (fun () ->
+              Printf.sprintf
+                "%d routers (%s) forward (%s, %s) onto %s while the stream is live — \
+                 the Assert process never elected a single winner"
+                (List.length names)
+                (String.concat ", " (List.sort compare names))
+                (Addr.to_string src) (Addr.to_string grp) (link_name_of t li)),
+            t.bound )
+          :: acc
+        else acc)
+      forwarding []
+  in
+  sustain_set t ~at ~prefix:"assert|" items
+
+let check_prune_graft t ~at =
+  (* Who currently forwards each (S,G) onto each link.  On a redundant
+     LAN the Assert winner need not be the neighbour a router's Grafts
+     were addressed to, so pairwise neighbour-state comparison is
+     unsound: a Joined router is healthy as long as {e some} router
+     forwards onto its incoming interface. *)
+  let forwarders : (int * Addr.t * Addr.t, string list) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (name, r) ->
+      if not (Router_stack.is_failed r) then
+        List.iter
+          (fun e ->
+            List.iter
+              (fun o ->
+                if o.P.snap_forwarding then begin
+                  let key = (o.P.snap_oif, e.P.snap_source, e.P.snap_group) in
+                  let prev = Option.value (Hashtbl.find_opt forwarders key) ~default:[] in
+                  Hashtbl.replace forwarders key (name :: prev)
+                end)
+              e.P.snap_oifs)
+          (P.snapshot (Router_stack.pim r)))
+    t.routers;
+  let covered_by_other ~name ~src ~grp oif =
+    match Hashtbl.find_opt forwarders (oif, src, grp) with
+    | Some names -> List.exists (fun n -> n <> name) names
+    | None -> false
+  in
+  let items = ref [] in
+  let add x = items := x :: !items in
+  List.iter
+    (fun (name, r) ->
+      if not (Router_stack.is_failed r) then
+        List.iter
+          (fun e ->
+            let sg =
+              Printf.sprintf "(%s,%s)"
+                (Addr.to_string e.P.snap_source)
+                (Addr.to_string e.P.snap_group)
+            in
+            let wants_traffic =
+              List.exists (fun o -> o.P.snap_forwarding) e.P.snap_oifs
+            in
+            (* An assert loser whose loser state just expired reads as
+               forwarding-while-pruned-upstream, but as long as the
+               assert winner serves the same link nothing is owed: only
+               an oif no other router covers makes a pruned upstream a
+               broken branch. *)
+            let wants_uncovered =
+              List.exists
+                (fun o ->
+                  o.P.snap_forwarding
+                  && not
+                       (covered_by_other ~name ~src:e.P.snap_source
+                          ~grp:e.P.snap_group o.P.snap_oif))
+                e.P.snap_oifs
+            in
+            (* Dormant state for a source that stopped transmitting —
+               e.g. the care-of source of a sender that roamed and
+               went home again — is data-driven residue, not a broken
+               branch; it times out on its own. *)
+            let stream_live =
+              match
+                Hashtbl.find_opt t.src_data_tx (e.P.snap_source, e.P.snap_group)
+              with
+              | Some tx -> Engine.Time.sub at tx < 5.0
+              | None -> false
+            in
+            (match e.P.snap_upstream_state with
+             | P.Up_grafting ->
+               add
+                 ( Printf.sprintf "stuck|%s|%s" name sg,
+                   Prune_graft,
+                   name,
+                   (fun () ->
+                     Printf.sprintf
+                       "%s stuck in Grafting for %s: no Graft-Ack despite the retry \
+                        timer"
+                       name sg),
+                   t.bound )
+             | P.Up_pruned when wants_uncovered && stream_live ->
+               add
+                 ( Printf.sprintf "wants|%s|%s" name sg,
+                   Prune_graft,
+                   name,
+                   (fun () ->
+                     Printf.sprintf
+                       "%s holds %s pruned upstream although downstream interfaces \
+                        want the traffic — a Graft should have restored the branch"
+                       name sg),
+                   t.bound )
+             | P.Up_joined | P.Up_pruned -> ());
+            match (e.P.snap_upstream_state, e.P.snap_upstream) with
+            | P.Up_joined, Some _ when wants_traffic ->
+              if
+                stream_live
+                && not
+                     (Hashtbl.mem forwarders
+                        (e.P.snap_iif, e.P.snap_source, e.P.snap_group))
+              then
+                add
+                  ( Printf.sprintf "pair|%s|%s" name sg,
+                    Prune_graft,
+                    name,
+                    (fun () ->
+                      Printf.sprintf
+                        "%s is Joined and forwarding %s, but no upstream router \
+                         forwards onto %s — the Graft/override exchange failed to \
+                         restore the branch"
+                        name sg
+                        (link_name_of t e.P.snap_iif)),
+                    t.bound )
+            | _ -> ())
+          (P.snapshot (Router_stack.pim r)))
+    t.routers;
+  sustain_set t ~at ~prefix:"pg|" !items
+
+let ttl_sum t =
+  List.fold_left
+    (fun acc (_, r) -> acc + (Router_stack.load r).Load.hop_limit_expired)
+    0 t.routers
+
+let check_ttl t ~at =
+  let sum = ttl_sum t in
+  if in_chaos t ~at then
+    (* Corrupted hop-limit bytes expire without a loop existing; track
+       the count so only post-chaos increments are violations. *)
+    t.ttl_baseline <- sum
+  else if sum > t.ttl_baseline then
+    record_keyed t ~at ~key:"ttl" ~inv:Forwarding_loop ~where:"network"
+      ~detail:
+        (Printf.sprintf
+           "%d unicast packet(s) exhausted their hop limit in transit — the symptom \
+            of a routing loop"
+           (sum - t.ttl_baseline))
+
+let check_black_hole t ~at =
+  let items =
+    List.concat_map
+      (fun (name, h) ->
+        List.filter_map
+          (fun g ->
+            let progress =
+              Host_stack.received_count h ~group:g + Host_stack.duplicate_count h ~group:g
+            in
+            let key = (name, g) in
+            let prev = Hashtbl.find_opt t.progress key in
+            Hashtbl.replace t.progress key progress;
+            let data_active =
+              match Hashtbl.find_opt t.last_data_tx g with
+              | Some tx -> Engine.Time.sub at tx < 3.0
+              | None -> false
+            in
+            match prev with
+            | Some p when p = progress && data_active ->
+              Some
+                ( Printf.sprintf "%s|%s" name (Addr.to_string g),
+                  Black_hole,
+                  name,
+                  (fun () ->
+                    Printf.sprintf
+                      "%s is subscribed to %s and the stream is live, yet nothing was \
+                       delivered for the whole convergence bound (stuck at %d \
+                       datagrams)"
+                      name (Addr.to_string g) progress),
+                  t.bound )
+            | Some _ | None -> None)
+          (Host_stack.subscriptions h))
+      t.hosts
+  in
+  sustain_set t ~at ~prefix:"bh|" items
+
+let sample t =
+  let at = now t in
+  t.samples <- t.samples + 1;
+  if chaos_active_now t then t.chaos_until <- Engine.Time.add at 2.0;
+  check_ttl t ~at;
+  let disrupted = poll_disruption t in
+  if disrupted || unsettled t then begin
+    t.last_disruption <- at;
+    Hashtbl.reset t.pending
+  end
+  else begin
+    check_querier t ~at;
+    check_assert t ~at;
+    check_prune_graft t ~at;
+    check_black_hole t ~at
+  end
+
+(* ---- lifecycle ---- *)
+
+let attach ?(config = default_config) ?faults (scenario : Scenario.t) =
+  let spec = scenario.Scenario.spec in
+  let bound =
+    match config.sustain with
+    | Some s -> s
+    | None -> bound_for_spec spec
+  in
+  let zero_querier_bound =
+    Float.max bound
+      (Mld.Mld_config.other_querier_present_interval spec.Scenario.mld
+      +. spec.Scenario.mld.Mld.Mld_config.query_response_interval
+      +. 5.0)
+  in
+  let net = scenario.Scenario.net in
+  let topo = Network.topology net in
+  let t =
+    { scenario;
+      cfg = config;
+      bound;
+      zero_querier_bound;
+      faults;
+      links = Topology.links topo;
+      routers = scenario.Scenario.routers;
+      hosts = scenario.Scenario.hosts;
+      running = true;
+      samples = 0;
+      violations_rev = [];
+      count = 0;
+      pending = Hashtbl.create 32;
+      opened = Hashtbl.create 32;
+      last_disruption = Engine.Sim.now scenario.Scenario.sim;
+      last_fired = (match faults with Some f -> Faults.events_fired f | None -> 0);
+      chaos_until = neg_infinity;
+      ttl_baseline = 0;
+      host_state = Hashtbl.create 8;
+      addr_owner = Hashtbl.create 32;
+      tx_counts = Hashtbl.create 1024;
+      tx_limit = Hashtbl.create 8;
+      link_names = Hashtbl.create 8;
+      last_data_tx = Hashtbl.create 8;
+      src_data_tx = Hashtbl.create 8;
+      link_data_tx = Hashtbl.create 16;
+      progress = Hashtbl.create 16 }
+  in
+  List.iter
+    (fun (name, h) ->
+      Hashtbl.replace t.host_state name
+        { hs_attach = Host_stack.last_attach_time h;
+          hs_subs = Host_stack.subscriptions h };
+      List.iter
+        (fun l ->
+          Hashtbl.replace t.addr_owner
+            (Topology.address_on topo (Host_stack.node_id h) l)
+            (name, h, l))
+        t.links)
+    t.hosts;
+  List.iter
+    (fun l ->
+      let li = Link_id.to_int l in
+      Hashtbl.replace t.tx_limit li (1 + List.length (Topology.routers_on_link topo l));
+      Hashtbl.replace t.link_names li (Topology.link_name topo l))
+    t.links;
+  Network.add_transmit_observer net (fun link p -> on_transmit t link p);
+  let rec loop () =
+    if t.running then begin
+      sample t;
+      ignore
+        (Engine.Sim.schedule_after t.scenario.Scenario.sim t.cfg.sample_interval loop)
+    end
+  in
+  ignore (Engine.Sim.schedule_after t.scenario.Scenario.sim t.cfg.sample_interval loop);
+  t
+
+let detach t = t.running <- false
+
+(* ---- reporting ---- *)
+
+let pp_violation ppf v =
+  Format.fprintf ppf "@[<v2>[%8.3f] %-16s %s: %s" v.v_at
+    (invariant_name v.v_invariant)
+    v.v_where v.v_detail;
+  if v.v_trace <> [] then begin
+    Format.fprintf ppf "@,trace (newest first):";
+    List.iter (fun r -> Format.fprintf ppf "@,  %a" Engine.Trace.pp_record r) v.v_trace
+  end;
+  Format.fprintf ppf "@]"
+
+let pp_report ppf t =
+  Format.fprintf ppf "@[<v>invariant monitor: %d sample(s), bound %.1f s, %d violation(s)"
+    t.samples t.bound t.count;
+  List.iter (fun v -> Format.fprintf ppf "@,%a" pp_violation v) (violations t);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,99 @@
+(** Runtime protocol-invariant monitor.
+
+    Attaches to a running {!Mmcast.Scenario} through the existing
+    observer hooks (transmit observers, protocol snapshots, load
+    counters) and continuously verifies the safety and liveness
+    properties the paper's protocol stack is supposed to maintain:
+
+    - {b assert-winner}: at most one PIM-DM router forwards a given
+      (S,G) onto a LAN once the Assert process has had time to
+      converge (draft-ietf-pim-v2-dm-03 section 3.5).
+    - {b mld-querier}: exactly one MLD querier per link with MLD
+      routers (RFC 2710 section 6, lowest-address election).
+    - {b forwarding-loop}: no packet crosses the same link more often
+      than the topology can explain, no unicast packet circulates
+      until its hop limit runs out.
+    - {b prune-graft}: prune state between PIM neighbours stays
+      consistent — a router joined and forwarding downstream must not
+      face a pruned upstream interface, a pruned-upstream router with
+      live listeners must graft, and a Graft must eventually be
+      acknowledged.
+    - {b tunnel-coherence}: no packet is tunnelled to a stale care-of
+      address once the binding registration has had time to complete
+      (paper section 4.3.2).
+    - {b black-hole}: a subscribed receiver on a live topology gets
+      data within the convergence bound of the last disruption
+      (eventual delivery — the paper's baseline expectation of all
+      four Table 1 approaches).
+
+    The monitor is read-only and draws no random numbers, so attaching
+    it never perturbs a seeded run.  A liveness condition only becomes
+    a violation when it has held for the {e convergence bound} — a
+    duration computed from the protocol configuration
+    ({!bound_for_spec}) — with the clock restarting at every
+    disruption: a fault event firing, a handoff, a subscription
+    change, a link down, a failed router, or heavy (≥ 0.5) loss or
+    corruption.  Detected violations carry the event time, the node or
+    link concerned, and a replayable excerpt of the protocol trace. *)
+
+open Mmcast
+
+type invariant =
+  | Assert_winner
+  | Mld_querier
+  | Forwarding_loop
+  | Prune_graft
+  | Tunnel_coherence
+  | Black_hole
+
+val invariant_name : invariant -> string
+
+type violation = {
+  v_invariant : invariant;
+  v_at : Engine.Time.t;  (** simulated time of detection *)
+  v_where : string;  (** node or link concerned *)
+  v_detail : string;
+  v_trace : Engine.Trace.record list;
+      (** trace excerpt at detection, newest first *)
+}
+
+type config = {
+  sample_interval : Engine.Time.t;  (** state-poll period, default 0.5 s *)
+  sustain : Engine.Time.t option;
+      (** override the computed convergence bound (tests use a short
+          one to catch deliberately broken configurations quickly) *)
+  trace_excerpt : int;  (** trace records attached per violation *)
+}
+
+val default_config : config
+
+val bound_for_spec : Scenario.spec -> Engine.Time.t
+(** Convergence bound implied by a scenario's protocol configuration:
+    the slowest control-plane repair path (movement detection, an MLD
+    query/report cycle, prune override and graft retries, the Binding
+    Update retransmission backoff) or a binding refresh cycle,
+    whichever is longer, plus a scheduling margin.  A liveness
+    condition sustained longer than this after the last disruption is
+    a violation. *)
+
+type t
+
+val attach : ?config:config -> ?faults:Faults.t -> Scenario.t -> t
+(** Start monitoring.  [faults] lets the monitor restart its
+    convergence clocks when scheduled fault events fire.  A scenario
+    without a monitor attached pays zero overhead — there is no hook
+    in the packet path until [attach] registers one. *)
+
+val detach : t -> unit
+(** Stop sampling and observing; recorded violations stay readable. *)
+
+val bound : t -> Engine.Time.t
+val samples : t -> int
+
+val violations : t -> violation list
+(** Chronological. *)
+
+val violation_count : t -> int
+
+val pp_violation : Format.formatter -> violation -> unit
+val pp_report : Format.formatter -> t -> unit

@@ -1,0 +1,155 @@
+open Mmcast
+
+type row = {
+  soak_seed : int;
+  soak_approach : Approach.t;
+  soak_marks : string list;
+  soak_moves : int;
+  soak_sent : int;
+  soak_delivered : int;
+  soak_duplicates : int;
+  soak_malformed : int;
+  soak_samples : int;
+  soak_bound : Engine.Time.t;
+  soak_violations : Monitor.violation list;
+}
+
+let duration = 240.0
+
+let spec_for ~approach ~seed =
+  { Scenario.default_spec with
+    Scenario.approach;
+    seed;
+    mld = Mld.Mld_config.with_query_interval 15.0 Mld.Mld_config.default;
+    pim =
+      { Pimdm.Pim_config.default with
+        Pimdm.Pim_config.state_refresh_interval = Some 20.0;
+        assert_time = 30.0 };
+    mipv6 = { Mipv6.Mipv6_config.default with Mipv6.Mipv6_config.binding_lifetime = 40.0 }
+  }
+
+(* Faults live in [30, 140] and handoffs in [40, 130]: every
+   disruption is repaired with a settled tail (~100 s, longer than the
+   ~48 s convergence bound of [spec_for]) left before the run ends. *)
+let fault_links = [| "L1"; "L2"; "L3"; "L4"; "L5"; "L6" |]
+let crashable_routers = [| "A"; "B"; "C"; "E" |]
+let roam_links = [| "L1"; "L2"; "L6" |]
+
+type plan = {
+  plan_faults : Faults.schedule;
+  plan_moves : (Engine.Time.t * string * string) list;  (* time, host, link *)
+}
+
+let plan_for scenario ~seed =
+  (* The schedule RNG is its own root: fault placement must not
+     perturb the scenario's protocol streams (same guarantee the
+     Faults library gives for which deliveries a loss window kills). *)
+  let rng = Engine.Rng.create (0x50a50a lxor seed) in
+  let link name = Scenario.link scenario name in
+  let pick_link () = Engine.Rng.pick rng fault_links in
+  let n_faults = 3 + Engine.Rng.int rng 3 in
+  let plan_faults =
+    List.init n_faults (fun _ ->
+        let from_t = Engine.Rng.uniform rng 30.0 110.0 in
+        let until = from_t +. Engine.Rng.uniform rng 5.0 30.0 in
+        (* Draw in a fixed order with explicit lets: the plan for a
+           seed must not depend on argument evaluation order. *)
+        match Engine.Rng.int rng 6 with
+        | 0 ->
+          let l = link (pick_link ()) in
+          let rate = Engine.Rng.uniform rng 0.05 0.7 in
+          Faults.loss_window ~link:l ~rate ~from_t ~until
+        | 1 ->
+          let l = link (pick_link ()) in
+          let rate = Engine.Rng.uniform rng 0.05 0.5 in
+          Faults.duplicate_window ~link:l ~rate ~from_t ~until
+        | 2 ->
+          let l = link (pick_link ()) in
+          let rate = Engine.Rng.uniform rng 0.1 0.5 in
+          let jitter = Engine.Rng.uniform rng 0.05 0.5 in
+          Faults.reorder_window ~link:l ~rate ~jitter ~from_t ~until
+        | 3 ->
+          let l = link (pick_link ()) in
+          let rate = Engine.Rng.uniform rng 0.05 0.6 in
+          Faults.corrupt_window ~link:l ~rate ~from_t ~until
+        | 4 ->
+          let l = link (pick_link ()) in
+          let up_at = from_t +. Engine.Rng.uniform rng 2.0 10.0 in
+          Faults.link_flap ~link:l ~down_at:from_t ~up_at
+        | _ ->
+          (* Recoverable crash of any router except D: D is the home
+             agent of the roaming hosts, and losing its binding cache
+             black-holes tunnelled delivery until the next refresh by
+             design (an architecture property, not a protocol bug). *)
+          let name = Engine.Rng.pick rng crashable_routers in
+          let node = Router_stack.node_id (Scenario.router scenario name) in
+          Faults.crash ~node ~at:from_t
+            ~recover_at:(from_t +. Engine.Rng.uniform rng 5.0 20.0)
+            ())
+  in
+  (* R3 roams once or twice; S roams in about half the runs so the
+     send-path half of each approach is exercised too. *)
+  let r3_first = Engine.Rng.uniform rng 40.0 90.0 in
+  let r3_moves =
+    let dest = Engine.Rng.pick rng roam_links in
+    if Engine.Rng.bool rng then begin
+      let back = r3_first +. Engine.Rng.uniform rng 15.0 40.0 in
+      [ (r3_first, "R3", dest); (back, "R3", "L4") ]
+    end
+    else [ (r3_first, "R3", dest) ]
+  in
+  let s_moves =
+    if Engine.Rng.bool rng then begin
+      let away = Engine.Rng.uniform rng 50.0 100.0 in
+      let dest = Engine.Rng.pick rng [| "L2"; "L6" |] in
+      let back = away +. Engine.Rng.uniform rng 20.0 30.0 in
+      [ (away, "S", dest); (back, "S", "L1") ]
+    end
+    else []
+  in
+  { plan_faults; plan_moves = r3_moves @ s_moves }
+
+let run_one ~approach ~seed =
+  let spec = spec_for ~approach ~seed in
+  let scenario = Scenario.paper_figure1 spec in
+  let net = scenario.Scenario.net in
+  (* Every delivery goes through the codec, faults or not: the soak is
+     also a wire-exactness proof for the whole protocol exchange. *)
+  Net.Network.set_wire_check net true;
+  let plan = plan_for scenario ~seed in
+  let faults = Scenario.install_faults scenario plan.plan_faults in
+  let monitor = Monitor.attach ~faults scenario in
+  Scenario.subscribe_receivers scenario Scenario.group;
+  ignore
+    (Traffic.cbr scenario (Scenario.host scenario "S") ~group:Scenario.group ~from_t:5.0
+       ~until:(duration -. 5.0) ~interval:0.2 ~bytes:256);
+  List.iter
+    (fun (at, host, dest) ->
+      Traffic.at scenario at (fun () ->
+          Host_stack.move_to (Scenario.host scenario host) (Scenario.link scenario dest)))
+    plan.plan_moves;
+  Scenario.run_until scenario duration;
+  Monitor.detach monitor;
+  let rx name = Host_stack.received_count (Scenario.host scenario name) ~group:Scenario.group in
+  let dup name =
+    Host_stack.duplicate_count (Scenario.host scenario name) ~group:Scenario.group
+  in
+  { soak_seed = seed;
+    soak_approach = approach;
+    soak_marks = List.map (fun m -> m.Faults.fault_label) (Faults.marks_of faults);
+    soak_moves = List.length plan.plan_moves;
+    soak_sent = Host_stack.data_sent (Scenario.host scenario "S");
+    soak_delivered = rx "R1" + rx "R2" + rx "R3";
+    soak_duplicates = dup "R1" + dup "R2" + dup "R3";
+    soak_malformed = Net.Network.total_malformed_drops net;
+    soak_samples = Monitor.samples monitor;
+    soak_bound = Monitor.bound monitor;
+    soak_violations = Monitor.violations monitor }
+
+let run ?(schedules = 20) ?(jobs = 1) ?(seed = 7) () =
+  let tasks =
+    List.concat_map
+      (fun approach -> List.init schedules (fun i -> (approach, seed + i)))
+      Approach.all
+  in
+  Parallel.map ~jobs (fun (approach, seed) -> run_one ~approach ~seed) tasks

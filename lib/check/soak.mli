@@ -1,0 +1,54 @@
+(** Chaos soak: randomized recoverable fault schedules under the
+    invariant monitor.
+
+    Each soak run builds the paper's Figure 1 network for one Table 1
+    approach, turns on wire-exact delivery (every frame is serialized
+    and re-parsed, so receivers only ever see what the bytes decode
+    to), installs a seed-derived schedule of {e recoverable} faults —
+    loss / duplication / reordering / corruption windows, link flaps,
+    router crash-and-restart — roams receiver R3 (and sometimes sender
+    S), and lets the monitor watch every invariant for the whole run.
+    Schedules are built so every disruption is repaired well before
+    the run ends, leaving a settled tail longer than the convergence
+    bound: a healthy protocol stack must finish with {e zero}
+    violations.
+
+    The home agent of the roaming receiver (router D) is never
+    crashed: losing its binding cache black-holes tunnelled delivery
+    until the next binding refresh by design, which is a property of
+    the paper's architecture rather than a protocol bug. *)
+
+open Mmcast
+
+type row = {
+  soak_seed : int;
+  soak_approach : Approach.t;
+  soak_marks : string list;  (** fault onset/repair labels, chronological *)
+  soak_moves : int;  (** scripted handoffs (R3 and S) *)
+  soak_sent : int;
+  soak_delivered : int;  (** sum over subscribed receivers *)
+  soak_duplicates : int;
+  soak_malformed : int;  (** frames rejected by the decoder and dropped *)
+  soak_samples : int;
+  soak_bound : Engine.Time.t;
+  soak_violations : Monitor.violation list;
+}
+
+val duration : Engine.Time.t
+(** Simulated seconds per run (240). *)
+
+val spec_for : approach:Approach.t -> seed:int -> Scenario.spec
+(** The soak scenario configuration: MLD query interval lowered to
+    15 s (the paper section 4.4 tuning) and the binding lifetime to
+    40 s, so every control-plane repair path — including a binding
+    refresh after a corrupted (checksum-less) Binding Update — fits
+    inside a convergence bound much shorter than the run. *)
+
+val run_one : approach:Approach.t -> seed:int -> row
+(** One seeded run; deterministic function of (approach, seed). *)
+
+val run : ?schedules:int -> ?jobs:int -> ?seed:int -> unit -> row list
+(** [run ~schedules ~jobs ~seed ()] runs [schedules] seeds (default
+    20, seeds [seed..seed+schedules-1], base seed default 7) for each
+    of the four approaches, fanned over [jobs] domains (default 1).
+    Rows are in (approach, seed) order and independent of [jobs]. *)

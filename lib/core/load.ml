@@ -4,6 +4,7 @@ type t = {
   mutable decapsulations : int;
   mutable control_messages : int;
   mutable intercepted : int;
+  mutable hop_limit_expired : int;
 }
 
 let create () =
@@ -11,19 +12,22 @@ let create () =
     encapsulations = 0;
     decapsulations = 0;
     control_messages = 0;
-    intercepted = 0 }
+    intercepted = 0;
+    hop_limit_expired = 0 }
 
 let reset t =
   t.packets_processed <- 0;
   t.encapsulations <- 0;
   t.decapsulations <- 0;
   t.control_messages <- 0;
-  t.intercepted <- 0
+  t.intercepted <- 0;
+  t.hop_limit_expired <- 0
 
 let total_work t =
   t.packets_processed + (2 * (t.encapsulations + t.decapsulations)) + t.control_messages
   + t.intercepted
 
 let pp ppf t =
-  Format.fprintf ppf "pkts=%d encap=%d decap=%d ctrl=%d proxy=%d" t.packets_processed
-    t.encapsulations t.decapsulations t.control_messages t.intercepted
+  Format.fprintf ppf "pkts=%d encap=%d decap=%d ctrl=%d proxy=%d ttl-drop=%d"
+    t.packets_processed t.encapsulations t.decapsulations t.control_messages t.intercepted
+    t.hop_limit_expired

@@ -8,6 +8,11 @@ type t = {
   mutable decapsulations : int;
   mutable control_messages : int;  (** MLD + PIM + Mobile IPv6 signalling handled *)
   mutable intercepted : int;  (** packets a home agent proxied for a mobile host *)
+  mutable hop_limit_expired : int;
+      (** Unicast packets dropped because their hop limit was exhausted
+          — nonzero only when a forwarding loop (or a pathologically
+          long path) exists, so the invariant monitor treats any
+          increment as a loop symptom. *)
 }
 
 val create : unit -> t

@@ -535,8 +535,10 @@ let handle_unicast t packet =
     match binding_for t packet.Packet.dst with
     | Some entry -> intercept_to_mobile t entry packet
     | None ->
-      if packet.Packet.hop_limit <= 1 then
+      if packet.Packet.hop_limit <= 1 then begin
+        t.load.Load.hop_limit_expired <- t.load.Load.hop_limit_expired + 1;
         trace t "hop limit exceeded for %s" (Addr.to_string packet.Packet.dst)
+      end
       else forward_unicast t { packet with Packet.hop_limit = packet.Packet.hop_limit - 1 }
 
 let handle_multicast t ~link packet =

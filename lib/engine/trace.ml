@@ -53,6 +53,16 @@ let records t =
 let by_category t category =
   List.filter (fun r -> String.equal r.category category) (records t)
 
+let recent t ~n =
+  (* [items] is newest first, so the last [n] records are a prefix —
+     no reversal of the whole history needed. *)
+  let rec take k = function
+    | [] -> []
+    | _ when k = 0 -> []
+    | r :: rest -> r :: take (k - 1) rest
+  in
+  take (max 0 n) t.items
+
 let count ?category t =
   match category with
   | None -> t.total

@@ -39,6 +39,11 @@ val records : t -> record list
 val by_category : t -> string -> record list
 (** Oldest first, filtered from the memoized {!records} view. *)
 
+val recent : t -> n:int -> record list
+(** The most recent [n] records (fewer if the trace is shorter),
+    {e newest first}, in O(n): the invariant monitor snapshots violation
+    context this way without forcing the full memoized reversal. *)
+
 val count : ?category:string -> t -> int
 (** O(1): served from incrementally maintained counters, never by
     filtering the record list. *)

@@ -22,6 +22,12 @@ type spec =
       from_t : Engine.Time.t;
       until : Engine.Time.t;
     }
+  | Corrupt_window of {
+      link : Link_id.t;
+      rate : float;
+      from_t : Engine.Time.t;
+      until : Engine.Time.t;
+    }
   | Link_flap of {
       link : Link_id.t;
       down_at : Engine.Time.t;
@@ -48,6 +54,9 @@ let duplicate_window ~link ~rate ~from_t ~until =
 let reorder_window ~link ~rate ~jitter ~from_t ~until =
   Reorder_window { link; rate; jitter; from_t; until }
 
+let corrupt_window ~link ~rate ~from_t ~until =
+  Corrupt_window { link; rate; from_t; until }
+
 let link_flap ~link ~down_at ~up_at = Link_flap { link; down_at; up_at }
 let partition ~links ~from_t ~until = Partition { links; from_t; until }
 let crash ?recover_at ~node ~at () = Crash { node; at; recover_at }
@@ -73,6 +82,9 @@ let validate_spec = function
     check_rate "reorder" rate;
     if jitter < 0.0 then invalid "Faults: negative reorder jitter %g" jitter;
     check_window "reorder" ~from_t ~until
+  | Corrupt_window { rate; from_t; until; _ } ->
+    check_rate "corrupt" rate;
+    check_window "corrupt" ~from_t ~until
   | Link_flap { down_at; up_at; _ } -> check_window "flap" ~from_t:down_at ~until:up_at
   | Partition { links; from_t; until } ->
     if links = [] then invalid "Faults: empty partition";
@@ -115,6 +127,10 @@ let marks topo schedule =
         { fault_label = Printf.sprintf "reorder(%s)-" (link_name link);
           fault_at = until;
           repair = true } ]
+    | Corrupt_window { link; rate; from_t; until } ->
+      let label verb = Printf.sprintf "corrupt(%s)%s%.2f" (link_name link) verb rate in
+      [ { fault_label = label "+"; fault_at = from_t; repair = false };
+        { fault_label = label "-"; fault_at = until; repair = true } ]
     | Link_flap { link; down_at; up_at } ->
       [ { fault_label = Printf.sprintf "flap(%s) down" (link_name link);
           fault_at = down_at;
@@ -169,6 +185,15 @@ let install net ~handlers schedule =
   let sim = Network.sim net in
   let trace = Network.trace net in
   let t = { net; schedule; marks = marks topo schedule; fired = 0 } in
+  (* Corruption needs byte-exact frames to damage: a schedule with a
+     corruption window implies wire-check delivery for the whole run
+     (flipping it mid-run would make fault-free deliveries incomparable
+     across the window boundary). *)
+  if
+    List.exists
+      (function Corrupt_window _ -> true | _ -> false)
+      schedule
+  then Network.set_wire_check net true;
   let at time f =
     ignore
       (Engine.Sim.schedule_at sim time (fun () ->
@@ -220,6 +245,15 @@ let install net ~handlers schedule =
             | `Open ->
               Printf.sprintf "reordering %.2f (max +%gs) on %s" rate jitter (link_name link)
             | `Close -> Printf.sprintf "reorder window on %s closed" (link_name link))
+      | Corrupt_window { link; rate; from_t; until } ->
+        install_window ~from_t ~until
+          ~read:(fun () ->
+            let prev = Network.corrupt_rate net link in
+            fun () -> Network.set_corrupt_rate net link prev)
+          ~write:(fun () -> Network.set_corrupt_rate net link rate)
+          ~describe:(function
+            | `Open -> Printf.sprintf "corruption %.2f on %s" rate (link_name link)
+            | `Close -> Printf.sprintf "corruption window on %s closed" (link_name link))
       | Link_flap { link; down_at; up_at } ->
         at down_at (fun () -> Network.set_link_up net link false);
         at up_at (fun () -> Network.set_link_up net link true)

@@ -43,6 +43,14 @@ type spec =
       from_t : Engine.Time.t;
       until : Engine.Time.t;
     }
+  | Corrupt_window of {
+      link : Ids.Link_id.t;
+      rate : float;
+          (** per-delivery probability that 1–3 bytes of the encoded
+              frame are bit-flipped before the receiver decodes it *)
+      from_t : Engine.Time.t;
+      until : Engine.Time.t;
+    }
   | Link_flap of {
       link : Ids.Link_id.t;
       down_at : Engine.Time.t;
@@ -75,6 +83,9 @@ val reorder_window :
   from_t:Engine.Time.t ->
   until:Engine.Time.t ->
   spec
+
+val corrupt_window :
+  link:Ids.Link_id.t -> rate:float -> from_t:Engine.Time.t -> until:Engine.Time.t -> spec
 
 val link_flap : link:Ids.Link_id.t -> down_at:Engine.Time.t -> up_at:Engine.Time.t -> spec
 val partition : links:Ids.Link_id.t list -> from_t:Engine.Time.t -> until:Engine.Time.t -> spec
@@ -114,8 +125,10 @@ val install : Network.t -> handlers:handlers -> schedule -> t
     simulator.  Loss/duplication/reorder windows save the link's
     previous setting when they open and restore it when they close, so
     a window composes with an ambient rate set directly on the network.
-    Every applied change is recorded in the network trace under
-    category ["fault"].
+    A schedule containing a [Corrupt_window] turns on the network's
+    wire-check delivery mode for the whole run (corruption needs
+    byte-exact frames to damage).  Every applied change is recorded in
+    the network trace under category ["fault"].
     @raise Invalid_argument if the schedule is invalid or starts in the
     simulator's past. *)
 

@@ -108,6 +108,8 @@ let entries t =
   Hashtbl.fold (fun _ { entry; _ } acc -> entry :: acc) t.slots []
   |> List.sort (fun a b -> Addr.compare a.home b.home)
 
+let snapshot = entries
+
 let size t = Hashtbl.length t.slots
 
 let clear t =

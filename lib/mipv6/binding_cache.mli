@@ -52,6 +52,12 @@ val lookup : t -> Addr.t -> entry option
 val entries : t -> entry list
 (** Sorted by home address. *)
 
+val snapshot : t -> entry list
+(** Read-only snapshot for the invariant monitor: identical to
+    {!entries}, named to document that the returned records are
+    immutable and share no mutable structure with the cache — holding
+    them can never mutate protocol state. *)
+
 val size : t -> int
 
 val clear : t -> unit

@@ -181,3 +181,14 @@ let listener_deadline t group =
   match Hashtbl.find_opt t.members group with
   | None -> None
   | Some m -> Engine.Timer.expiry m.expiry
+
+(* ---- read-only snapshot for the invariant monitor ---- *)
+
+type querier_snapshot = {
+  snap_running : bool;
+  snap_querier : bool;
+  snap_groups : Addr.t list;
+}
+
+let snapshot t =
+  { snap_running = t.running; snap_querier = is_querier t; snap_groups = groups t }

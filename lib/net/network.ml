@@ -30,10 +30,11 @@ type condition = {
   mutable dup : float;
   mutable reorder : float;
   mutable reorder_jitter : Engine.Time.t;
+  mutable corrupt : float;
 }
 
 let pristine () =
-  { up = true; loss = 0.0; dup = 0.0; reorder = 0.0; reorder_jitter = 0.0 }
+  { up = true; loss = 0.0; dup = 0.0; reorder = 0.0; reorder_jitter = 0.0; corrupt = 0.0 }
 
 type t = {
   sim : Engine.Sim.t;
@@ -57,10 +58,19 @@ type t = {
   loss_rng : Engine.Rng.t;
   dup_rng : Engine.Rng.t;
   reorder_rng : Engine.Rng.t;
+  corrupt_rng : Engine.Rng.t;
   mutable lost : int;
   mutable duplicated : int;
   mutable reordered : int;
   mutable blocked : int;
+  (* Wire-exactness mode: when on, every delivery round-trips through
+     Codec.encode/Codec.decode, so the receiver only ever sees what a
+     byte-exact frame would decode to; corruption injection mutates the
+     frame in between and the checksum/format validation of the decoder
+     drops it here, counted per receiving node. *)
+  mutable wire_check : bool;
+  malformed : (Node_id.t, int ref) Hashtbl.t;
+  mutable malformed_total : int;
 }
 
 let create sim topology =
@@ -79,10 +89,14 @@ let create sim topology =
     loss_rng;
     dup_rng = Engine.Rng.derive loss_rng 1;
     reorder_rng = Engine.Rng.derive loss_rng 2;
+    corrupt_rng = Engine.Rng.derive loss_rng 3;
     lost = 0;
     duplicated = 0;
     reordered = 0;
-    blocked = 0 }
+    blocked = 0;
+    wire_check = false;
+    malformed = Hashtbl.create 8;
+    malformed_total = 0 }
 
 let sim t = t.sim
 let topology t = t.topology
@@ -146,6 +160,31 @@ let set_reorder t link ~rate ~jitter =
   c.reorder <- rate;
   c.reorder_jitter <- jitter
 
+let set_wire_check t flag = t.wire_check <- flag
+let wire_check t = t.wire_check
+
+let set_corrupt_rate t link rate =
+  check_rate "set_corrupt_rate" rate;
+  (condition t link).corrupt <- rate
+
+let corrupt_rate t link =
+  match Hashtbl.find_opt t.conditions link with
+  | Some c -> c.corrupt
+  | None -> 0.0
+
+let malformed_drops t node =
+  match Hashtbl.find_opt t.malformed node with
+  | Some r -> !r
+  | None -> 0
+
+let total_malformed_drops t = t.malformed_total
+
+let count_malformed t node =
+  t.malformed_total <- t.malformed_total + 1;
+  match Hashtbl.find_opt t.malformed node with
+  | Some r -> incr r
+  | None -> Hashtbl.replace t.malformed node (ref 1)
+
 let set_link_up t link up =
   let c = condition t link in
   if c.up <> up then begin
@@ -165,6 +204,41 @@ let duplicates_injected t = t.duplicated
 let reordered t = t.reordered
 let blocked t = t.blocked
 
+(* Wire-exact delivery: serialize, optionally corrupt, re-parse.  The
+   receiver only ever sees what the byte-exact frame decodes to; a
+   frame the decoder rejects (truncation, checksum mismatch, malformed
+   option) is dropped here and counted against the receiving node,
+   exactly as a real stack discards a bad frame before any protocol
+   logic sees it. *)
+let deliver_wire t ~link ~from ~to_node handler packet =
+  match Codec.encode packet with
+  | exception Codec.Error _ ->
+    (* Not expressible on the wire (a model-only packet): hand it over
+       structurally rather than invent a drop no real link would add. *)
+    handler ~link ~from packet
+  | frame -> (
+    let rate = corrupt_rate t link in
+    if rate > 0.0 && Engine.Rng.float t.corrupt_rng 1.0 < rate then begin
+      (* Flip a few random bytes; frames whose damage lands in a
+         checksummed or length-checked region are rejected below, the
+         rest decode to a (realistically) silently-altered packet. *)
+      let len = Bytes.length frame in
+      let flips = 1 + Engine.Rng.int t.corrupt_rng 3 in
+      for _ = 1 to flips do
+        let i = Engine.Rng.int t.corrupt_rng len in
+        let mask = 1 + Engine.Rng.int t.corrupt_rng 255 in
+        Bytes.set frame i (Char.chr (Char.code (Bytes.get frame i) lxor mask))
+      done
+    end;
+    match Codec.decode frame with
+    | Ok received -> handler ~link ~from received
+    | Error reason ->
+      count_malformed t to_node;
+      Engine.Trace.recordf t.trace ~category:"link" "%s dropped malformed frame on %s: %s"
+        (Topology.node_name t.topology to_node)
+        (Topology.link_name t.topology link)
+        reason)
+
 let deliver t ~link ~from ~to_node packet =
   (* Attachment and link state are re-checked at delivery time: a node
      that moved away while the frame was in flight misses it, and a
@@ -177,7 +251,9 @@ let deliver t ~link ~from ~to_node packet =
     if rate > 0.0 && Engine.Rng.float t.loss_rng 1.0 < rate then t.lost <- t.lost + 1
     else
       match Hashtbl.find_opt t.handlers to_node with
-      | Some handler -> handler ~link ~from packet
+      | Some handler ->
+        if t.wire_check then deliver_wire t ~link ~from ~to_node handler packet
+        else handler ~link ~from packet
       | None -> ()
   end
 
@@ -287,4 +363,6 @@ let reset_stats t =
   t.lost <- 0;
   t.duplicated <- 0;
   t.reordered <- 0;
-  t.blocked <- 0
+  t.blocked <- 0;
+  Hashtbl.reset t.malformed;
+  t.malformed_total <- 0

@@ -83,6 +83,35 @@ val set_reorder : t -> Ids.Link_id.t -> rate:float -> jitter:Engine.Time.t -> un
     overtake it.  @raise Invalid_argument for rate outside [0, 1] or
     negative jitter. *)
 
+val set_corrupt_rate : t -> Ids.Link_id.t -> float -> unit
+(** Each delivery is independently damaged with this probability: in
+    wire-check mode 1–3 random bytes of the encoded frame are
+    bit-flipped before the receiver decodes it.  Damage in a
+    checksummed or length-checked region makes the decoder reject the
+    frame (counted in {!malformed_drops}); damage elsewhere — e.g. the
+    unprotected IPv6 header — silently alters the packet, as on a real
+    wire.  Has no effect unless {!set_wire_check} is on.  0 by default.
+    @raise Invalid_argument outside [0, 1]. *)
+
+val corrupt_rate : t -> Ids.Link_id.t -> float
+
+val set_wire_check : t -> bool -> unit
+(** Wire-exactness mode: every delivery is serialized with
+    [Codec.encode], optionally corrupted ({!set_corrupt_rate}), and
+    re-parsed with [Codec.decode] before the receiver's handler runs —
+    so receivers only ever see what the byte-exact frame decodes to,
+    and frames the decoder rejects are dropped-and-counted like a real
+    stack discarding a bad frame.  Off by default (structural delivery,
+    the fast path). *)
+
+val wire_check : t -> bool
+
+val malformed_drops : t -> Ids.Node_id.t -> int
+(** Frames dropped at this receiver because [Codec.decode] rejected
+    them (wire-check mode only). *)
+
+val total_malformed_drops : t -> int
+
 val set_link_up : t -> Ids.Link_id.t -> bool -> unit
 (** Link flap: while a link is down, transmissions onto it are blocked
     (silently for the sender, as a real carrier loss would be to these

@@ -10,6 +10,7 @@ type t = {
   metric_preference : int;
   state_refresh_interval : Engine.Time.t option;
   flood_to_leaf_links : bool;
+  enable_graft : bool;
 }
 
 let default =
@@ -23,7 +24,8 @@ let default =
     hello_holdtime = 105.0;
     metric_preference = 101;
     state_refresh_interval = None;
-    flood_to_leaf_links = true }
+    flood_to_leaf_links = true;
+    enable_graft = true }
 
 let pp ppf t =
   Format.fprintf ppf

@@ -38,6 +38,12 @@ type t = {
           flood reaches {e every} link; the interface is then locally
           pruned.  When false (draft behaviour), such interfaces are
           never in the outgoing list.  Default true. *)
+  enable_graft : bool;
+      (** Chaos knob for robustness testing: when false the router
+          never sends Grafts, so a branch pruned upstream while
+          listeners reappear downstream stays black-holed until the
+          prune holdtime expires — a deliberately broken configuration
+          the invariant monitor must catch.  Default true. *)
 }
 
 val default : t

@@ -291,7 +291,7 @@ let send_graft_upstream t entry =
   match entry.upstream with
   | None -> ()
   | Some up ->
-    if entry.upstream_state <> Grafting then begin
+    if (config t).Pim_config.enable_graft && entry.upstream_state <> Grafting then begin
       entry.upstream_state <- Grafting;
       t.env.Pim_env.send_message entry.iif
         (Pim_message.Graft { upstream_neighbor = up; joins = [ sg entry ] });
@@ -536,7 +536,21 @@ let handle_assert t ~iface ~src ~group ~source ~metric_preference ~metric =
    downstream — the re-flood suppression of the extension. *)
 let handle_state_refresh t ~iface ~refresh_source ~refresh_group ~interval_s
     ~prune_indicator =
-  match find_entry t ~source:refresh_source ~group:refresh_group with
+  let entry =
+    match find_entry t ~source:refresh_source ~group:refresh_group with
+    | Some _ as e -> e
+    | None -> (
+      (* RFC 3973-style: a State Refresh stands in for the data it
+         describes, so a router without (S,G) state — one that
+         restarted after its branch was pruned, and will never see the
+         data itself — rebuilds the entry from it, RPF check
+         included. *)
+      match t.env.Pim_env.rpf ~source:refresh_source with
+      | Some rpf when rpf.Pim_env.rpf_iface = iface ->
+        find_or_create_entry t ~source:refresh_source ~group:refresh_group
+      | Some _ | None -> None)
+  in
+  match entry with
   | None -> ()
   | Some entry ->
     if iface = entry.iif then begin
@@ -551,10 +565,12 @@ let handle_state_refresh t ~iface ~refresh_source ~refresh_group ~interval_s
           send_prune_upstream t entry
         end
       end
-      else if prune_indicator then begin
-        (* The upstream believes this branch is pruned but we still
-           have receivers — a Join or Graft was lost somewhere.
-           Recover with a Graft (RFC 3973's prune-indicator rule). *)
+      else if prune_indicator || entry.upstream_state = Pruned_up then begin
+        (* Receivers exist but the upstream branch is (or is believed
+           to be) pruned — a Join or Graft was lost, or the outgoing
+           interface came back from assert-loser suppression after the
+           prune went out.  Recover with a Graft (RFC 3973's
+           prune-indicator rule, extended to our own pruned state). *)
         entry.upstream_state <- Pruned_up;
         send_graft_upstream t entry
       end;
@@ -715,3 +731,61 @@ let is_forwarding t ~source ~group ~iface =
     match Hashtbl.find_opt entry.oifs iface with
     | None -> false
     | Some o -> oif_would_forward t entry iface o)
+
+(* ---- read-only snapshots for the invariant monitor ---- *)
+
+type upstream_snapshot =
+  | Up_joined
+  | Up_pruned
+  | Up_grafting
+
+type oif_snapshot = {
+  snap_oif : Pim_env.iface;
+  snap_forwarding : bool;
+  snap_prune_pending : bool;
+  snap_pruned : bool;
+  snap_assert_winner : Addr.t option;
+}
+
+type entry_snapshot = {
+  snap_source : Addr.t;
+  snap_group : Addr.t;
+  snap_iif : Pim_env.iface;
+  snap_upstream : Addr.t option;
+  snap_upstream_state : upstream_snapshot;
+  snap_oifs : oif_snapshot list;
+}
+
+let snapshot_entry t entry =
+  let snap_oifs =
+    Hashtbl.fold
+      (fun iface o acc ->
+        { snap_oif = iface;
+          snap_forwarding = oif_would_forward t entry iface o;
+          snap_prune_pending = o.prune = Prune_pending;
+          snap_pruned = o.prune = Pruned;
+          snap_assert_winner =
+            (match o.assert_lost with
+             | Some (_, _, winner) -> Some winner
+             | None -> None) }
+        :: acc)
+      entry.oifs []
+    |> List.sort (fun a b -> Int.compare a.snap_oif b.snap_oif)
+  in
+  { snap_source = entry.source;
+    snap_group = entry.group;
+    snap_iif = entry.iif;
+    snap_upstream = entry.upstream;
+    snap_upstream_state =
+      (match entry.upstream_state with
+       | Joined -> Up_joined
+       | Pruned_up -> Up_pruned
+       | Grafting -> Up_grafting);
+    snap_oifs }
+
+let snapshot t =
+  Hashtbl.fold (fun _ entry acc -> snapshot_entry t entry :: acc) t.entries []
+  |> List.sort (fun a b ->
+         match Addr.compare a.snap_source b.snap_source with
+         | 0 -> Addr.compare a.snap_group b.snap_group
+         | c -> c)

@@ -73,3 +73,38 @@ val neighbors : t -> iface:Pim_env.iface -> Addr.t list
 (** Live PIM neighbours on an interface, sorted. *)
 
 val is_forwarding : t -> source:Addr.t -> group:Addr.t -> iface:Pim_env.iface -> bool
+
+(** {1 Read-only snapshots}
+
+    Plain immutable values describing the router's assert / prune /
+    graft state, extracted for the runtime invariant monitor
+    ([Check.Monitor]).  Taking a snapshot never mutates protocol state
+    and the returned values share no mutable structure with it. *)
+
+type upstream_snapshot =
+  | Up_joined  (** expecting data from upstream *)
+  | Up_pruned  (** this router pruned itself off the tree *)
+  | Up_grafting  (** Graft sent, Graft-Ack still outstanding *)
+
+type oif_snapshot = {
+  snap_oif : Pim_env.iface;
+  snap_forwarding : bool;  (** would data be replicated here right now? *)
+  snap_prune_pending : bool;  (** inside the TPruneDel override window *)
+  snap_pruned : bool;
+  snap_assert_winner : Addr.t option;
+      (** address of the router this one lost the Assert to, if any *)
+}
+
+type entry_snapshot = {
+  snap_source : Addr.t;
+  snap_group : Addr.t;
+  snap_iif : Pim_env.iface;
+  snap_upstream : Addr.t option;
+      (** current upstream neighbour (RPF choice, possibly
+          assert-overridden) *)
+  snap_upstream_state : upstream_snapshot;
+  snap_oifs : oif_snapshot list;  (** sorted by interface *)
+}
+
+val snapshot : t -> entry_snapshot list
+(** Every live (S,G) entry, sorted by (source, group). *)
