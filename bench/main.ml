@@ -17,6 +17,33 @@ open Mmcast
 let jobs_setting = ref (Parallel.default_jobs ())
 let quick_setting = ref false
 
+(* Where the machine-readable reports land (--telemetry DIR; default:
+   the working directory, the historical behaviour). *)
+let telemetry_dir = ref "."
+let capture_setting : string option ref = ref None
+let outputs : (string * string) list ref = ref []
+
+let rec ensure_dir dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    ensure_dir (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+(* Every report embeds a manifest (tool, argv, git describe, wall time)
+   so a checked-in BENCH_*.json is enough to re-run what produced it. *)
+let report_manifest () =
+  let m = Obs.Manifest.create ~tool:"bench" () in
+  Obs.Manifest.add_int m "jobs" !jobs_setting;
+  Obs.Manifest.add m "quick" (Obs.Json.Bool !quick_setting);
+  m
+
+let write_report ~kind name doc =
+  ensure_dir !telemetry_dir;
+  let path = Filename.concat !telemetry_dir name in
+  Obs.Json.write_file ~pretty:true ~path doc;
+  outputs := (kind, path) :: !outputs;
+  path
+
 let section title =
   Printf.printf "\n============================================================\n";
   Printf.printf "%s\n" title;
@@ -491,45 +518,39 @@ let faults () =
         (opt_s f.flap_mean_recovery_s) (opt_s f.flap_max_recovery_s) f.flap_unrecovered)
     flaps;
   (* Machine-readable report alongside the table. *)
-  let opt_json = function
-    | Some v -> Printf.sprintf "%.6f" v
-    | None -> "null"
-  in
+  let opt_float = Obs.Json.opt Obs.Json.float in
   let row_json (r : Workload.Sweep.recovery_row) =
-    Printf.sprintf
-      "    {\"approach\": %S, \"loss_rate\": %.2f, \"mean_recovery_s\": %s, \
-       \"max_recovery_s\": %s, \"unrecovered\": %d, \"samples\": %d}"
-      (Approach.name r.Workload.Sweep.rec_approach)
-      r.loss_rate (opt_json r.mean_recovery_s) (opt_json r.max_recovery_s) r.unrecovered
-      r.samples
+    Obs.Json.Obj
+      [ ("approach", Obs.Json.String (Approach.name r.Workload.Sweep.rec_approach));
+        ("loss_rate", Obs.Json.float r.loss_rate);
+        ("mean_recovery_s", opt_float r.mean_recovery_s);
+        ("max_recovery_s", opt_float r.max_recovery_s);
+        ("unrecovered", Obs.Json.Int r.unrecovered);
+        ("samples", Obs.Json.Int r.samples) ]
   in
   let flap_json (f : Workload.Sweep.flap_row) =
-    Printf.sprintf
-      "    {\"flaps\": %d, \"mean_recovery_s\": %s, \"max_recovery_s\": %s, \
-       \"unrecovered\": %d}"
-      f.Workload.Sweep.flap_count
-      (opt_json f.flap_mean_recovery_s)
-      (opt_json f.flap_max_recovery_s)
-      f.flap_unrecovered
+    Obs.Json.Obj
+      [ ("flaps", Obs.Json.Int f.Workload.Sweep.flap_count);
+        ("mean_recovery_s", opt_float f.flap_mean_recovery_s);
+        ("max_recovery_s", opt_float f.flap_max_recovery_s);
+        ("unrecovered", Obs.Json.Int f.flap_unrecovered) ]
   in
-  let json =
-    Printf.sprintf
-      "{\n\
-      \  \"flap_schedule\": {\"link\": \"L3\", \"down_at\": 80.0, \"up_at\": 100.0},\n\
-      \  \"loss_rates\": [%s],\n\
-      \  \"recovery\": [\n%s\n  ],\n\
-      \  \"flap_sweep\": [\n%s\n  ]\n\
-       }"
-      (String.concat ", " (List.map (Printf.sprintf "%.2f") loss_rates))
-      (String.concat ",\n" (List.map row_json rows))
-      (String.concat ",\n" (List.map flap_json flaps))
+  let doc =
+    Obs.Json.Obj
+      [ ("schema", Obs.Json.String "mmcast-fault-recovery/1");
+        ("seed", Obs.Json.Int Scenario.default_spec.Scenario.seed);
+        ( "flap_schedule",
+          Obs.Json.Obj
+            [ ("link", Obs.Json.String "L3");
+              ("down_at", Obs.Json.float 80.0);
+              ("up_at", Obs.Json.float 100.0) ] );
+        ("loss_rates", Obs.Json.List (List.map Obs.Json.float loss_rates));
+        ("recovery", Obs.Json.List (List.map row_json rows));
+        ("flap_sweep", Obs.Json.List (List.map flap_json flaps));
+        ("manifest", Obs.Manifest.to_json (report_manifest ())) ]
   in
-  let path = "fault_recovery.json" in
-  let oc = open_out path in
-  output_string oc json;
-  output_char oc '\n';
-  close_out oc;
-  Printf.printf "\n  JSON report written to %s:\n%s\n" path json;
+  let path = write_report ~kind:"fault-recovery" "fault_recovery.json" doc in
+  Printf.printf "\n  JSON report written to %s\n" path;
   print_endline
     "\nPIM-DM's flood-and-prune state survives short outages, so lossless recovery\n\
      is one inter-packet gap; ambient loss stretches it to the Graft-retry /\n\
@@ -542,7 +563,8 @@ let soak () =
   section "Soak: randomized recoverable fault schedules under the invariant monitor";
   let schedules = if !quick_setting then 5 else 20 in
   let jobs = !jobs_setting in
-  let rows = Check.Soak.run ~schedules ~jobs () in
+  let base_seed = 7 in
+  let rows = Check.Soak.run ~schedules ~jobs ~seed:base_seed () in
   Printf.printf "  %-34s %5s %6s %6s %5s %5s %5s %4s\n" "approach" "seed" "sent" "rx"
     "dup" "drop" "marks" "viol";
   List.iter
@@ -568,64 +590,43 @@ let soak () =
             Check.Monitor.pp_violation v)
         r.Check.Soak.soak_violations)
     rows;
-  (* Machine-readable report alongside the table.  [%S] is not a JSON
-     escaper (it writes decimal [\ddd] escapes for non-ASCII bytes), so
-     escape by hand and pass UTF-8 bytes through. *)
-  let json_string s =
-    let buf = Buffer.create (String.length s + 2) in
-    Buffer.add_char buf '"';
-    String.iter
-      (fun c ->
-        match c with
-        | '"' -> Buffer.add_string buf "\\\""
-        | '\\' -> Buffer.add_string buf "\\\\"
-        | '\n' -> Buffer.add_string buf "\\n"
-        | c when Char.code c < 0x20 ->
-          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-        | c -> Buffer.add_char buf c)
-      s;
-    Buffer.add_char buf '"';
-    Buffer.contents buf
-  in
+  (* Machine-readable report alongside the table ([Obs.Json] escapes
+     every string, so violation details can never break the document). *)
   let violation_json (v : Check.Monitor.violation) =
-    Printf.sprintf
-      "{\"invariant\": %s, \"at_s\": %.3f, \"where\": %s, \"detail\": %s}"
-      (json_string (Check.Monitor.invariant_name v.Check.Monitor.v_invariant))
-      v.Check.Monitor.v_at
-      (json_string v.Check.Monitor.v_where)
-      (json_string v.Check.Monitor.v_detail)
+    Obs.Json.Obj
+      [ ( "invariant",
+          Obs.Json.String (Check.Monitor.invariant_name v.Check.Monitor.v_invariant) );
+        ("at_s", Obs.Json.float v.Check.Monitor.v_at);
+        ("where", Obs.Json.String v.Check.Monitor.v_where);
+        ("detail", Obs.Json.String v.Check.Monitor.v_detail) ]
   in
   let row_json (r : Check.Soak.row) =
-    Printf.sprintf
-      "    {\"approach\": %s, \"seed\": %d, \"marks\": [%s], \"moves\": %d, \"sent\": \
-       %d, \"delivered\": %d, \"duplicates\": %d, \"malformed_drops\": %d, \
-       \"samples\": %d, \"bound_s\": %.3f, \"violations\": [%s]}"
-      (json_string (Approach.name r.Check.Soak.soak_approach))
-      r.Check.Soak.soak_seed
-      (String.concat ", " (List.map json_string r.Check.Soak.soak_marks))
-      r.Check.Soak.soak_moves r.Check.Soak.soak_sent r.Check.Soak.soak_delivered
-      r.Check.Soak.soak_duplicates r.Check.Soak.soak_malformed
-      r.Check.Soak.soak_samples r.Check.Soak.soak_bound
-      (String.concat ", " (List.map violation_json r.Check.Soak.soak_violations))
+    Obs.Json.Obj
+      [ ("approach", Obs.Json.String (Approach.name r.Check.Soak.soak_approach));
+        ("seed", Obs.Json.Int r.Check.Soak.soak_seed);
+        ("marks", Obs.Json.strings r.Check.Soak.soak_marks);
+        ("moves", Obs.Json.Int r.Check.Soak.soak_moves);
+        ("sent", Obs.Json.Int r.Check.Soak.soak_sent);
+        ("delivered", Obs.Json.Int r.Check.Soak.soak_delivered);
+        ("duplicates", Obs.Json.Int r.Check.Soak.soak_duplicates);
+        ("malformed_drops", Obs.Json.Int r.Check.Soak.soak_malformed);
+        ("samples", Obs.Json.Int r.Check.Soak.soak_samples);
+        ("bound_s", Obs.Json.float r.Check.Soak.soak_bound);
+        ( "violations",
+          Obs.Json.List (List.map violation_json r.Check.Soak.soak_violations) ) ]
   in
-  let json =
-    Printf.sprintf
-      "{\n\
-      \  \"schema\": \"mmcast-bench-soak/1\",\n\
-      \  \"duration_s\": %.1f,\n\
-      \  \"schedules_per_approach\": %d,\n\
-      \  \"quick\": %b,\n\
-      \  \"total_violations\": %d,\n\
-      \  \"runs\": [\n%s\n  ]\n\
-       }"
-      Check.Soak.duration schedules !quick_setting total_violations
-      (String.concat ",\n" (List.map row_json rows))
+  let doc =
+    Obs.Json.Obj
+      [ ("schema", Obs.Json.String "mmcast-bench-soak/2");
+        ("base_seed", Obs.Json.Int base_seed);
+        ("duration_s", Obs.Json.float Check.Soak.duration);
+        ("schedules_per_approach", Obs.Json.Int schedules);
+        ("quick", Obs.Json.Bool !quick_setting);
+        ("total_violations", Obs.Json.Int total_violations);
+        ("runs", Obs.Json.List (List.map row_json rows));
+        ("manifest", Obs.Manifest.to_json (report_manifest ())) ]
   in
-  let path = "BENCH_soak.json" in
-  let oc = open_out path in
-  output_string oc json;
-  output_char oc '\n';
-  close_out oc;
+  let path = write_report ~kind:"soak" "BENCH_soak.json" doc in
   Printf.printf "\n  JSON report written to %s\n" path;
   if total_violations > 0 then begin
     Printf.eprintf "soak: %d invariant violation(s) detected\n" total_violations;
@@ -840,35 +841,35 @@ let perf () =
   Printf.printf "  %-24s %10.3f s\n" "jobs=1" t_seq;
   Printf.printf "  %-24s %10.3f s   (speedup %.2fx, rows identical: %b)\n"
     (Printf.sprintf "jobs=%d" jobs) t_par speedup identical;
-  let json =
-    Printf.sprintf
-      "{\n\
-      \  \"schema\": \"mmcast-bench-perf/1\",\n\
-      \  \"host_cores\": %d,\n\
-      \  \"jobs\": %d,\n\
-      \  \"quick\": %b,\n\
-      \  \"micro\": {\n\
-      \    \"event_queue\": {\"events_per_batch\": %d, \"ns_per_batch\": %.1f, \
-       \"events_per_s\": %.0f},\n\
-      \    \"transmit\": {\"packets_per_batch\": %d, \"ns_per_batch\": %.1f, \
-       \"packets_per_s\": %.0f}\n\
-      \  },\n\
-      \  \"macro\": {\n\
-      \    \"workload\": \"table1\",\n\
-      \    \"jobs1_wall_s\": %.6f,\n\
-      \    \"jobsN_wall_s\": %.6f,\n\
-      \    \"speedup\": %.4f,\n\
-      \    \"rows_identical\": %b\n\
-      \  }\n\
-       }"
-      cores jobs !quick_setting queue_events queue_ns events_per_s transmit_packets
-      transmit_ns packets_per_s t_seq t_par speedup identical
+  let doc =
+    Obs.Json.Obj
+      [ ("schema", Obs.Json.String "mmcast-bench-perf/2");
+        ("seed", Obs.Json.Int Scenario.default_spec.Scenario.seed);
+        ("host_cores", Obs.Json.Int cores);
+        ("jobs", Obs.Json.Int jobs);
+        ("quick", Obs.Json.Bool !quick_setting);
+        ( "micro",
+          Obs.Json.Obj
+            [ ( "event_queue",
+                Obs.Json.Obj
+                  [ ("events_per_batch", Obs.Json.Int queue_events);
+                    ("ns_per_batch", Obs.Json.float queue_ns);
+                    ("events_per_s", Obs.Json.float events_per_s) ] );
+              ( "transmit",
+                Obs.Json.Obj
+                  [ ("packets_per_batch", Obs.Json.Int transmit_packets);
+                    ("ns_per_batch", Obs.Json.float transmit_ns);
+                    ("packets_per_s", Obs.Json.float packets_per_s) ] ) ] );
+        ( "macro",
+          Obs.Json.Obj
+            [ ("workload", Obs.Json.String "table1");
+              ("jobs1_wall_s", Obs.Json.float t_seq);
+              ("jobsN_wall_s", Obs.Json.float t_par);
+              ("speedup", Obs.Json.float speedup);
+              ("rows_identical", Obs.Json.Bool identical) ] );
+        ("manifest", Obs.Manifest.to_json (report_manifest ())) ]
   in
-  let path = "BENCH_perf.json" in
-  let oc = open_out path in
-  output_string oc json;
-  output_char oc '\n';
-  close_out oc;
+  let path = write_report ~kind:"perf" "BENCH_perf.json" doc in
   Printf.printf "\n  JSON report written to %s\n" path;
   if not identical then (
     prerr_endline "perf: parallel Table 1 rows differ from sequential rows";
@@ -895,9 +896,30 @@ let sections =
     ("micro", micro);
     ("perf", perf) ]
 
+(* Canonical Figure-1 capture (the README quickstart scenario): CBR
+   stream plus R3's L4 -> L6 handoff, every frame byte-exact. *)
+let write_quickstart_capture file =
+  section "Capture: quickstart scenario (figure 1, R3 handoff at t=60)";
+  let scenario = Scenario.paper_figure1 Scenario.default_spec in
+  let cap = Obs.Capture.attach scenario.Scenario.net in
+  Traffic.at scenario 5.0 (fun () -> Scenario.subscribe_receivers scenario group);
+  ignore
+    (Traffic.cbr scenario (Scenario.host scenario "S") ~group ~from_t:30.0 ~until:110.0
+       ~interval:0.5 ~bytes:500);
+  Traffic.at scenario 60.0 (fun () ->
+      Host_stack.move_to (Scenario.host scenario "R3") (Scenario.link scenario "L6"));
+  Scenario.run_until scenario 120.0;
+  ensure_dir (Filename.dirname file);
+  Obs.Capture.to_file cap file;
+  outputs := ("capture", file) :: !outputs;
+  Printf.printf "  %d frame(s) (%d unencodable) -> %s\n" (Obs.Capture.frames cap)
+    (Obs.Capture.unencodable cap)
+    file
+
 let usage () =
   Printf.eprintf
-    "usage: main.exe [--jobs N] [--quick] [section ...]\n\
+    "usage: main.exe [--jobs N] [--quick] [--telemetry DIR] [--capture FILE] \
+     [section ...]\n\
      sections: %s\n"
     (String.concat " " (List.map fst sections));
   exit 1
@@ -919,6 +941,18 @@ let () =
     | "--quick" :: rest ->
       quick_setting := true;
       parse acc rest
+    | "--telemetry" :: dir :: rest ->
+      telemetry_dir := dir;
+      parse acc rest
+    | [ "--telemetry" ] ->
+      Printf.eprintf "--telemetry expects a directory\n";
+      exit 1
+    | "--capture" :: file :: rest ->
+      capture_setting := Some file;
+      parse acc rest
+    | [ "--capture" ] ->
+      Printf.eprintf "--capture expects a file\n";
+      exit 1
     | arg :: _ when String.length arg > 0 && arg.[0] = '-' ->
       Printf.eprintf "unknown flag %s\n" arg;
       usage ()
@@ -930,6 +964,12 @@ let () =
     | [] | [ "all" ] -> List.map fst sections
     | picks -> picks
   in
+  (* With --capture and no sections, write only the capture. *)
+  let chosen =
+    match (picks, !capture_setting) with
+    | [], Some _ -> []
+    | _, _ -> chosen
+  in
   List.iter
     (fun name ->
       match List.assoc_opt name sections with
@@ -938,4 +978,14 @@ let () =
         Printf.eprintf "unknown section %s (available: %s)\n" name
           (String.concat " " (List.map fst sections));
         exit 1)
-    chosen
+    chosen;
+  Option.iter write_quickstart_capture !capture_setting;
+  (* --telemetry DIR also gets a top-level manifest tying the artifacts
+     of this invocation together. *)
+  if !telemetry_dir <> "." || !capture_setting <> None then begin
+    ensure_dir !telemetry_dir;
+    let m = report_manifest () in
+    Obs.Manifest.add_string m "sections" (String.concat " " chosen);
+    List.iter (fun (kind, path) -> Obs.Manifest.add_output m ~kind path) (List.rev !outputs);
+    Obs.Manifest.write m ~path:(Filename.concat !telemetry_dir "manifest.json")
+  end

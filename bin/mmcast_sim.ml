@@ -39,6 +39,44 @@ let jobs_arg =
     & opt int (Parallel.default_jobs ())
     & info [ "j"; "jobs" ] ~docv:"N" ~doc)
 
+(* ---- observability options ---- *)
+
+let telemetry_arg =
+  let doc =
+    "Write a telemetry JSON time-series and a run manifest into $(docv) (created if \
+     missing)."
+  in
+  Arg.(value & opt (some string) None & info [ "telemetry" ] ~docv:"DIR" ~doc)
+
+let capture_arg =
+  let doc = "Write a pcapng capture of every transmitted frame to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "capture" ] ~docv:"FILE" ~doc)
+
+let rec ensure_dir dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    ensure_dir (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let sample_interval = 1.0 (* telemetry sampling period, simulated seconds *)
+
+let manifest_of_spec ~command spec =
+  let m = Obs.Manifest.create ~tool:"mmcast_sim" () in
+  Obs.Manifest.add_string m "command" command;
+  Obs.Manifest.add_int m "seed" spec.Scenario.seed;
+  Obs.Manifest.add_int m "approach" (Approach.number spec.Scenario.approach);
+  Obs.Manifest.add_string m "approach_name" (Approach.name spec.Scenario.approach);
+  Obs.Manifest.add_string m "topology" "paper_figure1";
+  Obs.Manifest.add_float m "mld_query_interval_s"
+    spec.Scenario.mld.Mld.Mld_config.query_interval;
+  Obs.Manifest.add_int m "mld_unsolicited_reports"
+    spec.Scenario.mld.Mld.Mld_config.unsolicited_report_count;
+  m
+
+let write_capture cap file =
+  Obs.Capture.to_file cap file;
+  Printf.printf "capture: %d frame(s) -> %s\n" (Obs.Capture.frames cap) file
+
 let spec_of ~approach ~seed ~no_unsolicited ~tquery =
   if approach < 1 || approach > 4 then `Error (false, "approach must be 1-4")
   else if tquery < Mld.Mld_config.default.Mld.Mld_config.query_response_interval then
@@ -72,7 +110,8 @@ let parse_flap s =
     | _ -> Error s)
   | _ -> Error s
 
-let run_cmd approach seed no_unsolicited tquery moves duration rate bytes loss flaps =
+let run_cmd approach seed no_unsolicited tquery moves duration rate bytes loss flaps
+    telemetry capture =
   match spec_of ~approach ~seed ~no_unsolicited ~tquery with
   | `Error _ as e -> e
   | `Ok _ when loss < 0.0 || loss > 1.0 -> `Error (false, "loss must be within [0,1]")
@@ -81,6 +120,17 @@ let run_cmd approach seed no_unsolicited tquery moves duration rate bytes loss f
   | `Ok spec ->
     let scenario = Scenario.paper_figure1 spec in
     let metrics = Metrics.attach scenario.Scenario.net in
+    let cap = Option.map (fun _ -> Obs.Capture.attach scenario.Scenario.net) capture in
+    let tele =
+      Option.map
+        (fun dir ->
+          ensure_dir dir;
+          let reg = Obs.Registry.create scenario.Scenario.sim in
+          let t = Telemetry.attach reg scenario metrics in
+          Obs.Registry.run_sampler reg ~every:sample_interval ~until:duration;
+          (dir, reg, t))
+        telemetry
+    in
     if loss > 0.0 then
       List.iter
         (fun link -> Net.Network.set_loss_rate scenario.Scenario.net link loss)
@@ -144,6 +194,32 @@ let run_cmd approach seed no_unsolicited tquery moves duration rate bytes loss f
        queries, %d reports, %d binding updates\n"
       c.Metrics.hellos c.Metrics.joins c.Metrics.prunes c.Metrics.grafts c.Metrics.asserts
       c.Metrics.queries c.Metrics.reports c.Metrics.binding_updates;
+    (match (cap, capture) with
+     | Some cap, Some file -> write_capture cap file
+     | _, _ -> ());
+    (match tele with
+     | None -> ()
+     | Some (dir, reg, t) ->
+       (match Metrics.join_delay r3 ~group with
+        | Some d -> Telemetry.record_join_delay t d
+        | None -> ());
+       let path = Filename.concat dir "telemetry.json" in
+       Obs.Json.write_file ~pretty:true ~path
+         (Obs.Registry.to_json
+            ~meta:
+              [ ("command", Obs.Json.String "run");
+                ("approach", Obs.Json.Int approach);
+                ("seed", Obs.Json.Int seed) ]
+            reg);
+       let m = manifest_of_spec ~command:"run" spec in
+       Obs.Manifest.add_float m "duration_s" duration;
+       Obs.Manifest.add_float m "rate_hz" rate;
+       Obs.Manifest.add_string m "moves" moves;
+       Obs.Manifest.add_float m "sample_interval_s" sample_interval;
+       Obs.Manifest.add_output m ~kind:"telemetry" path;
+       Option.iter (fun f -> Obs.Manifest.add_output m ~kind:"capture" f) capture;
+       Obs.Manifest.write m ~path:(Filename.concat dir "manifest.json");
+       Printf.printf "telemetry: %d sample(s) -> %s\n" (Obs.Registry.samples reg) path);
     `Ok ()
 
 let run_term =
@@ -180,7 +256,7 @@ let run_term =
   Term.(
     ret
       (const run_cmd $ approach_arg $ seed_arg $ unsolicited_arg $ tquery_arg $ moves
-      $ duration $ rate $ bytes $ loss $ flaps))
+      $ duration $ rate $ bytes $ loss $ flaps $ telemetry_arg $ capture_arg))
 
 (* ---- tree ---- *)
 
@@ -208,20 +284,138 @@ let tree_term =
 
 (* ---- compare ---- *)
 
-let compare_cmd seed no_unsolicited tquery jobs =
+let phase_name = function
+  | `Receiver -> "receiver"
+  | `Sender -> "sender"
+
+(* One registry per (approach, phase), written as its own document so
+   parallel approach workers never share mutable state. *)
+let compare_observer ~seed dir : Comparison.observer =
+ fun ~phase scenario metrics ->
+  let reg = Obs.Registry.create scenario.Scenario.sim in
+  let tele = Telemetry.attach reg scenario metrics in
+  let until =
+    match phase with
+    | `Receiver -> Comparison.receiver_end_time
+    | `Sender -> Comparison.sender_end_time
+  in
+  Obs.Registry.run_sampler reg ~every:sample_interval ~until;
+  let approach = scenario.Scenario.spec.Scenario.approach in
+  fun () ->
+    (match phase with
+     | `Receiver ->
+       let r3 = Scenario.host scenario "R3" in
+       (match Metrics.join_delay r3 ~group with
+        | Some d -> Telemetry.record_join_delay tele d
+        | None -> ());
+       let l4 = Scenario.link scenario "L4" in
+       let leave =
+         match Metrics.last_data_tx metrics l4 ~group with
+         | None -> 0.0
+         | Some last -> Float.max 0.0 (last -. Comparison.receiver_move_time)
+       in
+       Telemetry.record_leave_delay tele leave
+     | `Sender -> ());
+    let path =
+      Filename.concat dir
+        (Printf.sprintf "telemetry_approach%d_%s.json" (Approach.number approach)
+           (phase_name phase))
+    in
+    Obs.Json.write_file ~pretty:true ~path
+      (Obs.Registry.to_json
+         ~meta:
+           [ ("command", Obs.Json.String "compare");
+             ("approach", Obs.Json.Int (Approach.number approach));
+             ("approach_name", Obs.Json.String (Approach.name approach));
+             ("phase", Obs.Json.String (phase_name phase));
+             ("seed", Obs.Json.Int seed) ]
+         reg)
+
+let row_json (r : Comparison.row) =
+  Obs.Json.Obj
+    [ ("approach", Obs.Json.Int (Approach.number r.Comparison.approach));
+      ("approach_name", Obs.Json.String (Approach.name r.Comparison.approach));
+      ("join_delay_s", Obs.Json.opt Obs.Json.float r.Comparison.join_delay_s);
+      ("leave_delay_s", Obs.Json.float r.Comparison.leave_delay_s);
+      ("wasted_bytes_old_link", Obs.Json.Int r.Comparison.wasted_bytes_old_link);
+      ("tunnel_overhead_bytes", Obs.Json.Int r.Comparison.tunnel_overhead_bytes);
+      ("signalling_bytes", Obs.Json.Int r.Comparison.signalling_bytes);
+      ("receiver_stretch", Obs.Json.float r.Comparison.receiver_stretch);
+      ("receiver_lost", Obs.Json.Int r.Comparison.receiver_lost);
+      ("duplicates", Obs.Json.Int r.Comparison.duplicates);
+      ("ha_load", Obs.Json.Int r.Comparison.ha_load);
+      ("mh_load", Obs.Json.Int r.Comparison.mh_load);
+      ("routers_load", Obs.Json.Int r.Comparison.routers_load);
+      ("sender_asserts", Obs.Json.Int r.Comparison.sender_asserts);
+      ("sender_flood_bytes", Obs.Json.Int r.Comparison.sender_flood_bytes);
+      ("sender_sg_states", Obs.Json.Int r.Comparison.sender_sg_states);
+      ("sender_stretch", Obs.Json.float r.Comparison.sender_stretch) ]
+
+let compare_cmd seed no_unsolicited tquery jobs telemetry =
   match spec_of ~approach:1 ~seed ~no_unsolicited ~tquery with
   | `Error _ as e -> e
   | `Ok _ when jobs < 1 -> `Error (false, "jobs must be at least 1")
   | `Ok spec ->
-    Comparison.pp_table Format.std_formatter (Comparison.run_all ~spec ~jobs ());
+    let observe =
+      Option.map
+        (fun dir ->
+          ensure_dir dir;
+          compare_observer ~seed dir)
+        telemetry
+    in
+    let rows = Comparison.run_all ~spec ?observe ~jobs () in
+    Comparison.pp_table Format.std_formatter rows;
+    (match telemetry with
+     | None -> ()
+     | Some dir ->
+       let table_path = Filename.concat dir "table1.json" in
+       Obs.Json.write_file ~pretty:true ~path:table_path
+         (Obs.Json.Obj
+            [ ("schema", Obs.Json.String "mmcast-table1/1");
+              ("seed", Obs.Json.Int seed);
+              ("rows", Obs.Json.List (List.map row_json rows)) ]);
+       let m = manifest_of_spec ~command:"compare" spec in
+       Obs.Manifest.add_int m "jobs" jobs;
+       Obs.Manifest.add_float m "sample_interval_s" sample_interval;
+       Obs.Manifest.add_float m "receiver_move_time_s" Comparison.receiver_move_time;
+       Obs.Manifest.add_float m "sender_move_time_s" Comparison.sender_move_time;
+       Obs.Manifest.add_output m ~kind:"table" table_path;
+       List.iter
+         (fun r ->
+           List.iter
+             (fun phase ->
+               Obs.Manifest.add_output m ~kind:"telemetry"
+                 (Filename.concat dir
+                    (Printf.sprintf "telemetry_approach%d_%s.json"
+                       (Approach.number r.Comparison.approach) phase)))
+             [ "receiver"; "sender" ])
+         rows;
+       Obs.Manifest.write m ~path:(Filename.concat dir "manifest.json");
+       Printf.printf "\ntelemetry: %d document(s) -> %s\n"
+         ((2 * List.length rows) + 1)
+         dir);
     `Ok ()
 
 let compare_term =
-  Term.(ret (const compare_cmd $ seed_arg $ unsolicited_arg $ tquery_arg $ jobs_arg))
+  Term.(
+    ret
+      (const compare_cmd $ seed_arg $ unsolicited_arg $ tquery_arg $ jobs_arg
+      $ telemetry_arg))
 
 (* ---- sweep ---- *)
 
-let sweep_cmd trials no_unsolicited tqueries jobs =
+let sweep_row_json (r : Experiments.sweep_row) =
+  Obs.Json.Obj
+    [ ("tquery_s", Obs.Json.float r.Experiments.tquery_s);
+      ("trials", Obs.Json.Int r.Experiments.trials);
+      ("join_mean_s", Obs.Json.float r.Experiments.join_mean_s);
+      ("join_min_s", Obs.Json.float r.Experiments.join_min_s);
+      ("join_max_s", Obs.Json.float r.Experiments.join_max_s);
+      ("leave_mean_s", Obs.Json.float r.Experiments.leave_mean_s);
+      ("wasted_mean_bytes", Obs.Json.float r.Experiments.wasted_mean_bytes);
+      ("mld_bytes_per_s", Obs.Json.float r.Experiments.mld_bytes_per_s) ]
+
+let sweep_cmd trials no_unsolicited tqueries jobs telemetry =
   let values =
     String.split_on_char ',' tqueries |> List.filter_map float_of_string_opt
   in
@@ -240,6 +434,27 @@ let sweep_cmd trials no_unsolicited tqueries jobs =
           r.Experiments.tquery_s r.join_mean_s r.join_min_s r.join_max_s r.leave_mean_s
           r.wasted_mean_bytes r.mld_bytes_per_s)
       rows;
+    (match telemetry with
+     | None -> ()
+     | Some dir ->
+       ensure_dir dir;
+       let path = Filename.concat dir "sweep.json" in
+       Obs.Json.write_file ~pretty:true ~path
+         (Obs.Json.Obj
+            [ ("schema", Obs.Json.String "mmcast-sweep/1");
+              ("trials", Obs.Json.Int trials);
+              ("unsolicited", Obs.Json.Bool (not no_unsolicited));
+              ("rows", Obs.Json.List (List.map sweep_row_json rows)) ]);
+       let m = Obs.Manifest.create ~tool:"mmcast_sim" () in
+       Obs.Manifest.add_string m "command" "sweep";
+       Obs.Manifest.add_int m "trials" trials;
+       Obs.Manifest.add m "tquery_values"
+         (Obs.Json.List (List.map Obs.Json.float values));
+       Obs.Manifest.add_string m "topology" "paper_figure1";
+       Obs.Manifest.add_int m "jobs" jobs;
+       Obs.Manifest.add_output m ~kind:"sweep" path;
+       Obs.Manifest.write m ~path:(Filename.concat dir "manifest.json");
+       Printf.printf "\nsweep telemetry -> %s\n" path);
     `Ok ()
   end
 
@@ -252,7 +467,8 @@ let sweep_term =
     let doc = "Comma-separated TQuery values (seconds)." in
     Arg.(value & opt string "125,60,30,10" & info [ "tquery" ] ~docv:"LIST" ~doc)
   in
-  Term.(ret (const sweep_cmd $ trials $ unsolicited_arg $ tqueries $ jobs_arg))
+  Term.(
+    ret (const sweep_cmd $ trials $ unsolicited_arg $ tqueries $ jobs_arg $ telemetry_arg))
 
 (* ---- trace ---- *)
 
@@ -330,7 +546,26 @@ let broken_graft_demo ~seed =
     `Error (false, "monitor failed to catch the disabled-graft configuration")
   else `Ok ()
 
-let check_cmd approach seed schedules jobs disable_graft =
+let soak_row_json (r : Check.Soak.row) =
+  Obs.Json.Obj
+    [ ("approach", Obs.Json.Int (Approach.number r.Check.Soak.soak_approach));
+      ("approach_name", Obs.Json.String (Approach.name r.Check.Soak.soak_approach));
+      ("seed", Obs.Json.Int r.Check.Soak.soak_seed);
+      ("moves", Obs.Json.Int r.Check.Soak.soak_moves);
+      ("sent", Obs.Json.Int r.Check.Soak.soak_sent);
+      ("delivered", Obs.Json.Int r.Check.Soak.soak_delivered);
+      ("duplicates", Obs.Json.Int r.Check.Soak.soak_duplicates);
+      ("malformed", Obs.Json.Int r.Check.Soak.soak_malformed);
+      ("samples", Obs.Json.Int r.Check.Soak.soak_samples);
+      ("convergence_bound_s", Obs.Json.float r.Check.Soak.soak_bound);
+      ("marks", Obs.Json.strings r.Check.Soak.soak_marks);
+      ( "violations",
+        Obs.Json.strings
+          (List.map
+             (Format.asprintf "%a" Check.Monitor.pp_violation)
+             r.Check.Soak.soak_violations) ) ]
+
+let check_cmd approach seed schedules jobs disable_graft telemetry =
   if disable_graft then broken_graft_demo ~seed
   else if approach < 0 || approach > 4 then
     `Error (false, "approach must be 1-4, or 0 for all four")
@@ -378,6 +613,27 @@ let check_cmd approach seed schedules jobs disable_graft =
         "\n%d run(s) of %.0f s each under randomized recoverable faults; convergence \
          bound %.1f s; %d violation(s)\n"
         (List.length rows) Check.Soak.duration r.Check.Soak.soak_bound total;
+      (match telemetry with
+       | None -> ()
+       | Some dir ->
+         ensure_dir dir;
+         let path = Filename.concat dir "soak.json" in
+         Obs.Json.write_file ~pretty:true ~path
+           (Obs.Json.Obj
+              [ ("schema", Obs.Json.String "mmcast-soak/1");
+                ("base_seed", Obs.Json.Int seed);
+                ("duration_s", Obs.Json.float Check.Soak.duration);
+                ("violations", Obs.Json.Int total);
+                ("rows", Obs.Json.List (List.map soak_row_json rows)) ]);
+         let m = Obs.Manifest.create ~tool:"mmcast_sim" () in
+         Obs.Manifest.add_string m "command" "check";
+         Obs.Manifest.add_int m "seed" seed;
+         Obs.Manifest.add_int m "schedules" schedules;
+         Obs.Manifest.add_int m "jobs" jobs;
+         Obs.Manifest.add_string m "topology" "paper_figure1";
+         Obs.Manifest.add_output m ~kind:"soak" path;
+         Obs.Manifest.write m ~path:(Filename.concat dir "manifest.json");
+         Printf.printf "soak telemetry -> %s\n" path);
       if total > 0 then `Error (false, "invariant violations detected") else `Ok ()
   end
 
@@ -398,7 +654,75 @@ let check_term =
     Arg.(value & flag & info [ "disable-graft" ] ~doc)
   in
   Term.(
-    ret (const check_cmd $ approach $ seed_arg $ schedules $ jobs_arg $ disable_graft))
+    ret
+      (const check_cmd $ approach $ seed_arg $ schedules $ jobs_arg $ disable_graft
+      $ telemetry_arg))
+
+(* ---- pcap ---- *)
+
+let pcap_cmd file verbose =
+  match Obs.Pcapng.read_file file with
+  | Error e -> `Error (false, Printf.sprintf "%s: invalid pcapng: %s" file e)
+  | Ok cap ->
+    let iface_names =
+      List.mapi
+        (fun i (intf : Obs.Pcapng.interface) ->
+          (i, Option.value intf.Obs.Pcapng.intf_name ~default:(string_of_int i)))
+        cap.Obs.Pcapng.interfaces
+    in
+    let per_iface = Hashtbl.create 8 in
+    let malformed = ref 0 in
+    List.iter
+      (fun (f : Obs.Pcapng.frame) ->
+        Hashtbl.replace per_iface f.Obs.Pcapng.frame_interface
+          (1
+          + Option.value ~default:0
+              (Hashtbl.find_opt per_iface f.Obs.Pcapng.frame_interface));
+        match Ipv6.Codec.decode f.Obs.Pcapng.frame_data with
+        | Ok pkt ->
+          if verbose then
+            Printf.printf "%10.6f %-4s %s\n" f.Obs.Pcapng.frame_ts
+              (List.assoc_opt f.Obs.Pcapng.frame_interface iface_names
+              |> Option.value ~default:"?")
+              (Format.asprintf "%a" Ipv6.Packet.pp pkt)
+        | Error e ->
+          incr malformed;
+          Printf.eprintf "malformed frame at %.6f s: %s\n" f.Obs.Pcapng.frame_ts e)
+      cap.Obs.Pcapng.frames;
+    Printf.printf "%s: %d frame(s), %d interface(s)%s\n" file
+      (List.length cap.Obs.Pcapng.frames)
+      (List.length cap.Obs.Pcapng.interfaces)
+      (match cap.Obs.Pcapng.application with
+       | Some app -> Printf.sprintf ", written by %S" app
+       | None -> "");
+    List.iter
+      (fun (i, name) ->
+        Printf.printf "  %-8s %d frame(s)\n" name
+          (Option.value ~default:0 (Hashtbl.find_opt per_iface i)))
+      iface_names;
+    (match cap.Obs.Pcapng.frames with
+     | [] -> ()
+     | first :: _ ->
+       let last = List.fold_left (fun _ f -> f) first cap.Obs.Pcapng.frames in
+       Printf.printf "  time span %.6f .. %.6f s\n" first.Obs.Pcapng.frame_ts
+         last.Obs.Pcapng.frame_ts);
+    if !malformed > 0 then
+      `Error (false, Printf.sprintf "%d frame(s) failed to re-decode" !malformed)
+    else begin
+      Printf.printf "all frames re-decode through Ipv6.Codec\n";
+      `Ok ()
+    end
+
+let pcap_term =
+  let file =
+    let doc = "Pcapng file to validate (written by --capture)." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
+  in
+  let verbose =
+    let doc = "Print every decoded frame." in
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
+  in
+  Term.(ret (const pcap_cmd $ file $ verbose))
 
 (* ---- assembly ---- *)
 
@@ -417,7 +741,13 @@ let cmds =
          ~doc:
            "Soak the protocol stack under the runtime invariant monitor and \
             randomized recoverable faults")
-      check_term ]
+      check_term;
+    Cmd.v
+      (Cmd.info "pcap"
+         ~doc:
+           "Validate and summarize a pcapng capture: every frame must re-decode \
+            through the wire codec")
+      pcap_term ]
 
 let () =
   let info =

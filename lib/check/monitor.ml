@@ -723,10 +723,10 @@ let attach ?(config = default_config) ?faults (scenario : Scenario.t) =
     if t.running then begin
       sample t;
       ignore
-        (Engine.Sim.schedule_after t.scenario.Scenario.sim t.cfg.sample_interval loop)
+        (Engine.Sim.schedule_after ~category:"monitor" t.scenario.Scenario.sim t.cfg.sample_interval loop)
     end
   in
-  ignore (Engine.Sim.schedule_after t.scenario.Scenario.sim t.cfg.sample_interval loop);
+  ignore (Engine.Sim.schedule_after ~category:"monitor" t.scenario.Scenario.sim t.cfg.sample_interval loop);
   t
 
 let detach t = t.running <- false

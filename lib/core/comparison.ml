@@ -21,17 +21,25 @@ type row = {
 
 let group = Scenario.group
 
-let at scenario time f = ignore (Engine.Sim.schedule_at scenario.Scenario.sim time f)
+type observer =
+  phase:[ `Receiver | `Sender ] -> Scenario.t -> Metrics.t -> unit -> unit
+
+let receiver_move_time = 60.0
+let receiver_end_time = 360.0
+let sender_move_time = 120.0
+let sender_end_time = 260.0
+
+let at scenario time f = ignore (Engine.Sim.schedule_at ~category:"traffic" scenario.Scenario.sim time f)
 
 let cbr scenario host ~from_t ~until ~interval ~bytes =
   let sim = scenario.Scenario.sim in
   let rec tick () =
     if Engine.Time.compare (Engine.Sim.now sim) until < 0 then begin
       Host_stack.send_data host ~group ~bytes;
-      ignore (Engine.Sim.schedule_after sim interval tick)
+      ignore (Engine.Sim.schedule_after ~category:"traffic" sim interval tick)
     end
   in
-  ignore (Engine.Sim.schedule_at sim from_t tick)
+  ignore (Engine.Sim.schedule_at ~category:"traffic" sim from_t tick)
 
 (* Link crossings of a unicast packet from a node to another node:
    shortest path to the closest attachment. *)
@@ -110,14 +118,14 @@ let total_router_load scenario =
     (fun acc (_, r) -> acc + Load.total_work (Router_stack.load r))
     0 scenario.Scenario.routers
 
-let run_receiver_phase spec =
+let run_receiver_phase ?observe spec =
   let scenario = Scenario.paper_figure1 spec in
   let metrics = Metrics.attach scenario.Scenario.net in
   let r3 = Scenario.host scenario "R3" in
   let s = Scenario.host scenario "S" in
   let l4 = Scenario.link scenario "L4" in
   let l6 = Scenario.link scenario "L6" in
-  let move_time = 60.0 in
+  let move_time = receiver_move_time in
   let sent_at_move = ref 0 in
   let rx_at_move = ref 0 in
   let l4_bytes_at_move = ref 0 in
@@ -128,7 +136,13 @@ let run_receiver_phase spec =
       rx_at_move := Host_stack.received_count r3 ~group;
       l4_bytes_at_move := Metrics.data_bytes_on metrics l4;
       Host_stack.move_to r3 l6);
-  Scenario.run_until scenario 360.0;
+  let finish =
+    match observe with
+    | None -> fun () -> ()
+    | Some f -> f ~phase:`Receiver scenario metrics
+  in
+  Scenario.run_until scenario receiver_end_time;
+  finish ();
   let join_delay_s = Metrics.join_delay r3 ~group in
   let leave_delay_s =
     match Metrics.last_data_tx metrics l4 ~group with
@@ -152,13 +166,13 @@ let run_receiver_phase spec =
     Load.total_work (Host_stack.load r3),
     total_router_load scenario )
 
-let run_sender_phase spec =
+let run_sender_phase ?observe spec =
   let scenario = Scenario.paper_figure1 spec in
   let metrics = Metrics.attach scenario.Scenario.net in
   let s = Scenario.host scenario "S" in
   let l3 = Scenario.link scenario "L3" in
   let l5 = Scenario.link scenario "L5" in
-  let move_time = 120.0 in
+  let move_time = sender_move_time in
   let asserts_at_move = ref 0 in
   let asserts_after_handoff = ref 0 in
   let l5_bytes_at_move = ref 0 in
@@ -173,7 +187,13 @@ let run_sender_phase spec =
   at scenario (move_time +. 10.0) (fun () ->
       asserts_after_handoff :=
         (Metrics.control_counts metrics).Metrics.asserts - !asserts_at_move);
-  Scenario.run_until scenario 260.0;
+  let finish =
+    match observe with
+    | None -> fun () -> ()
+    | Some f -> f ~phase:`Sender scenario metrics
+  in
+  Scenario.run_until scenario sender_end_time;
+  finish ();
   let asserts = !asserts_after_handoff in
   let flood = Metrics.data_bytes_on metrics l5 - !l5_bytes_at_move in
   let sg_states =
@@ -183,7 +203,7 @@ let run_sender_phase spec =
   in
   (asserts, flood, sg_states, sender_stretch scenario spec.Scenario.approach)
 
-let run ?(spec = Scenario.default_spec) approach =
+let run ?(spec = Scenario.default_spec) ?observe approach =
   let spec = { spec with Scenario.approach } in
   let ( join_delay_s,
         leave_delay_s,
@@ -196,10 +216,10 @@ let run ?(spec = Scenario.default_spec) approach =
         ha_load,
         mh_load,
         routers_load ) =
-    run_receiver_phase spec
+    run_receiver_phase ?observe spec
   in
   let sender_asserts, sender_flood_bytes, sender_sg_states, sender_stretch =
-    run_sender_phase spec
+    run_sender_phase ?observe spec
   in
   { approach;
     join_delay_s;
@@ -218,11 +238,11 @@ let run ?(spec = Scenario.default_spec) approach =
     sender_sg_states;
     sender_stretch }
 
-let run_all ?spec ?(jobs = 1) () =
+let run_all ?spec ?observe ?(jobs = 1) () =
   (* Each approach runs two fresh scenarios of its own, so the four
      rows can be computed on separate domains; input order is
      preserved, keeping the table byte-identical to sequential runs. *)
-  Parallel.map ~jobs (fun a -> run ?spec a) Approach.all
+  Parallel.map ~jobs (fun a -> run ?spec ?observe a) Approach.all
 
 let pp_table ppf rows =
   Format.fprintf ppf

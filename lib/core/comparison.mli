@@ -39,14 +39,34 @@ type row = {
   sender_stretch : float;  (** path ratio from moved S to R3 *)
 }
 
-val run : ?spec:Scenario.spec -> Approach.t -> row
+val receiver_move_time : float
+(** When R3 hands off in the mobile-receiver scenario (60 s). *)
+
+val receiver_end_time : float
+val sender_move_time : float
+val sender_end_time : float
+
+type observer =
+  phase:[ `Receiver | `Sender ] -> Scenario.t -> Metrics.t -> unit -> unit
+(** Telemetry hook: called once per phase, after the workload is
+    scheduled and before the simulation runs, so it can attach
+    read-only probes (e.g. {!Telemetry.attach} plus an
+    {!Obs.Registry.run_sampler}).  The closure it returns is invoked
+    after the run finishes, before teardown, to flush/export.
+    Observers must only read state — attaching one never changes the
+    measured rows. *)
+
+val run : ?spec:Scenario.spec -> ?observe:observer -> Approach.t -> row
 (** Runs both scenarios for one approach.  [spec]'s approach field is
     overridden. *)
 
-val run_all : ?spec:Scenario.spec -> ?jobs:int -> unit -> row list
+val run_all :
+  ?spec:Scenario.spec -> ?observe:observer -> ?jobs:int -> unit -> row list
 (** All four approaches, paper order.  [jobs] (default 1) distributes
     the approaches over a {!Parallel} pool; the rows are identical
-    whatever [jobs] is. *)
+    whatever [jobs] is.  With [jobs > 1] the observer runs on worker
+    domains — give it domain-safe state (e.g. write per-approach
+    files). *)
 
 val pp_table : Format.formatter -> row list -> unit
 (** The quantitative Table 1. *)

@@ -427,7 +427,7 @@ let move_to t link =
     | Fixed_delay ->
       t.pending_detection <-
         Some
-          (Engine.Sim.schedule_after (sim t)
+          (Engine.Sim.schedule_after ~category:"mipv6" (sim t)
              t.cfg.mipv6.Mipv6.Mipv6_config.movement_detection_delay (fun () ->
                if t.running then finalize_attach t))
     | Router_advertisements ->

@@ -409,7 +409,7 @@ let handle_heartbeat t ~link ~src ~priority =
          Engine.Timer.start peer.peer_expiry holdtime
        | None ->
          let expiry =
-           Engine.Timer.create (sim t)
+           Engine.Timer.create ~category:"mipv6" (sim t)
              ~name:(Printf.sprintf "%s.hapeer.%s" t.label (Addr.to_string src))
              ~on_expire:(fun () ->
                Hashtbl.remove st.hl_peers src;
@@ -716,7 +716,7 @@ let start_heartbeats t =
               | Some timer -> timer
               | None ->
                 let timer =
-                  Engine.Timer.create (sim t)
+                  Engine.Timer.create ~category:"mipv6" (sim t)
                     ~name:(Printf.sprintf "%s.hb.%s" t.label
                              (Topology.link_name (topo t) link))
                     ~on_expire:(fun () -> tick ())
@@ -742,7 +742,7 @@ let start_router_advertisements t =
           let prefix = Topology.link_prefix (topo t) link in
           let rec timer =
             lazy
-              (Engine.Timer.create (sim t)
+              (Engine.Timer.create ~category:"mipv6" (sim t)
                  ~name:(Printf.sprintf "%s.ra.%s" t.label (Topology.link_name (topo t) link))
                  ~on_expire:(fun () -> tick ()))
           and tick () =

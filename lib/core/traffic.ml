@@ -6,10 +6,10 @@ let make_source scenario host ~group ~from_t ~until ~next_interval ~bytes =
   let rec tick () =
     if (not handle.stopped) && Engine.Time.compare (Engine.Sim.now sim) until < 0 then begin
       Host_stack.send_data host ~group ~bytes;
-      ignore (Engine.Sim.schedule_after sim (next_interval ()) tick)
+      ignore (Engine.Sim.schedule_after ~category:"traffic" sim (next_interval ()) tick)
     end
   in
-  ignore (Engine.Sim.schedule_at sim from_t tick);
+  ignore (Engine.Sim.schedule_at ~category:"traffic" sim from_t tick);
   handle
 
 let cbr scenario host ~group ~from_t ~until ~interval ~bytes =
@@ -22,4 +22,4 @@ let poisson scenario host ~group ~rng ~from_t ~until ~mean_interval ~bytes =
 
 let stop handle = handle.stopped <- true
 
-let at scenario time f = ignore (Engine.Sim.schedule_at scenario.Scenario.sim time f)
+let at scenario time f = ignore (Engine.Sim.schedule_at ~category:"traffic" scenario.Scenario.sim time f)

@@ -1,26 +1,75 @@
 type handle = Event_queue.handle
 
+type category_profile = { cat_events : int; cat_seconds : float }
+
+type profile_cell = { mutable p_events : int; mutable p_seconds : float }
+
+type profiler = {
+  clock : unit -> float;
+  cells : (string, profile_cell) Hashtbl.t;
+}
+
 type t = {
   mutable clock : Time.t;
   queue : (unit -> unit) Event_queue.t;
   root_rng : Rng.t;
   mutable executed : int;
+  mutable profiler : profiler option;
 }
 
 let create ?(seed = 42) () =
-  { clock = Time.zero; queue = Event_queue.create (); root_rng = Rng.create seed; executed = 0 }
+  { clock = Time.zero;
+    queue = Event_queue.create ();
+    root_rng = Rng.create seed;
+    executed = 0;
+    profiler = None }
 
 let now t = t.clock
 let rng t = t.root_rng
 
-let schedule_at t time f =
+let enable_profiling ?(clock = Sys.time) t =
+  t.profiler <- Some { clock; cells = Hashtbl.create 16 }
+
+let disable_profiling t = t.profiler <- None
+
+let profile t =
+  match t.profiler with
+  | None -> []
+  | Some p ->
+    Hashtbl.fold
+      (fun cat c acc ->
+        (cat, { cat_events = c.p_events; cat_seconds = c.p_seconds }) :: acc)
+      p.cells []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+(* Wrapping only happens when profiling is enabled, so the default
+   schedule/fire path stays allocation-identical to the unprofiled
+   build. *)
+let instrument t category f =
+  match t.profiler with
+  | None -> f
+  | Some p ->
+    fun () ->
+      let t0 = p.clock () in
+      Fun.protect ~finally:(fun () ->
+          let dt = p.clock () -. t0 in
+          match Hashtbl.find_opt p.cells category with
+          | Some c ->
+            c.p_events <- c.p_events + 1;
+            c.p_seconds <- c.p_seconds +. dt
+          | None ->
+            Hashtbl.replace p.cells category { p_events = 1; p_seconds = dt })
+        f
+
+let schedule_at ?(category = "other") t time f =
   if Time.compare time t.clock < 0 then
     invalid_arg
       (Printf.sprintf "Sim.schedule_at: %g is in the past (now %g)"
          (Time.seconds time) (Time.seconds t.clock));
-  Event_queue.push t.queue time f
+  Event_queue.push t.queue time (instrument t category f)
 
-let schedule_after t delay f = schedule_at t (Time.add t.clock delay) f
+let schedule_after ?category t delay f =
+  schedule_at ?category t (Time.add t.clock delay) f
 
 let cancel t handle = Event_queue.cancel t.queue handle
 

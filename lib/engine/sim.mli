@@ -19,11 +19,13 @@ val rng : t -> Rng.t
 (** The simulator's root random stream.  Components that need
     independent streams should [Rng.split] it once at set-up. *)
 
-val schedule_at : t -> Time.t -> (unit -> unit) -> handle
+val schedule_at : ?category:string -> t -> Time.t -> (unit -> unit) -> handle
 (** [schedule_at sim t f] runs [f] when the clock reaches [t].
+    [category] (default ["other"]) labels the event for the profiler;
+    it costs nothing unless {!enable_profiling} was called.
     @raise Invalid_argument if [t] is in the past. *)
 
-val schedule_after : t -> Time.t -> (unit -> unit) -> handle
+val schedule_after : ?category:string -> t -> Time.t -> (unit -> unit) -> handle
 (** [schedule_after sim d f] runs [f] at [now sim + d]. *)
 
 val cancel : t -> handle -> unit
@@ -42,3 +44,26 @@ val run : ?until:Time.t -> ?max_events:int -> t -> unit
     tests). *)
 
 val events_executed : t -> int
+
+(** {2 Per-handler-category profiling}
+
+    Off by default: the schedule/fire path is untouched until
+    {!enable_profiling} is called, after which every event callback is
+    timed with [clock] and accumulated under its scheduling category.
+    The observability layer samples {!profile} into exported
+    time-series. *)
+
+type category_profile = {
+  cat_events : int;  (** callbacks executed under this category *)
+  cat_seconds : float;  (** clock time spent inside them *)
+}
+
+val enable_profiling : ?clock:(unit -> float) -> t -> unit
+(** [clock] defaults to [Sys.time] (CPU seconds); pass a monotonic
+    wall clock for latency-shaped measurements.  Only events scheduled
+    {e after} this call are timed. *)
+
+val disable_profiling : t -> unit
+
+val profile : t -> (string * category_profile) list
+(** Sorted by category name; empty when profiling is off. *)

@@ -1,13 +1,14 @@
 type t = {
   sim : Sim.t;
   name : string;
+  category : string;
   on_expire : unit -> unit;
   mutable armed : (Sim.handle * Time.t) option;
   mutable generation : int;
 }
 
-let create sim ~name ~on_expire =
-  { sim; name; on_expire; armed = None; generation = 0 }
+let create ?(category = "timer") sim ~name ~on_expire =
+  { sim; name; category; on_expire; armed = None; generation = 0 }
 
 let stop t =
   match t.armed with
@@ -30,7 +31,7 @@ let start t duration =
       t.on_expire ()
     end
   in
-  let handle = Sim.schedule_at t.sim expiry fire in
+  let handle = Sim.schedule_at ~category:t.category t.sim expiry fire in
   t.armed <- Some (handle, expiry)
 
 let is_armed t = t.armed <> None

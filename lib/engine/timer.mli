@@ -7,9 +7,10 @@
 
 type t
 
-val create : Sim.t -> name:string -> on_expire:(unit -> unit) -> t
+val create : ?category:string -> Sim.t -> name:string -> on_expire:(unit -> unit) -> t
 (** The timer starts disarmed.  [name] appears in traces and error
-    messages. *)
+    messages; [category] (default ["timer"]) labels the expiry events
+    for {!Sim.profile}. *)
 
 val start : t -> Time.t -> unit
 (** Arm (or re-arm) the timer to fire after the given duration. *)

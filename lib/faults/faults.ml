@@ -196,7 +196,7 @@ let install net ~handlers schedule =
   then Network.set_wire_check net true;
   let at time f =
     ignore
-      (Engine.Sim.schedule_at sim time (fun () ->
+      (Engine.Sim.schedule_at ~category:"faults" sim time (fun () ->
            t.fired <- t.fired + 1;
            f ()))
   in

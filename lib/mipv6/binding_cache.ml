@@ -85,11 +85,11 @@ let process_update t ~home (bu : Packet.binding_update) =
     let previous = lookup t home in
     remove_slot t home ~notify:false;
     let timer =
-      Engine.Timer.create t.sim ~name:("binding." ^ Addr.to_string home)
+      Engine.Timer.create ~category:"mipv6" t.sim ~name:("binding." ^ Addr.to_string home)
         ~on_expire:(fun () -> remove_slot t home ~notify:true)
     in
     let warning =
-      Engine.Timer.create t.sim ~name:("binding-warn." ^ Addr.to_string home)
+      Engine.Timer.create ~category:"mipv6" t.sim ~name:("binding-warn." ^ Addr.to_string home)
         ~on_expire:(fun () ->
           match Hashtbl.find_opt t.slots home with
           | Some { entry; _ } -> t.callbacks.expiring entry

@@ -101,10 +101,10 @@ let create env ~home_address ~home_agent =
         groups = [];
         sent = 0;
         refresh =
-          Engine.Timer.create env.sim ~name:(env.label ^ ".refresh") ~on_expire:(fun () ->
+          Engine.Timer.create ~category:"mipv6" env.sim ~name:(env.label ^ ".refresh") ~on_expire:(fun () ->
               registration_tick (Lazy.force t));
         retransmit =
-          Engine.Timer.create env.sim ~name:(env.label ^ ".rexmt") ~on_expire:(fun () ->
+          Engine.Timer.create ~category:"mipv6" env.sim ~name:(env.label ^ ".rexmt") ~on_expire:(fun () ->
               let t = Lazy.force t in
               match t.location with
               | Foreign { acked = false; care_of } ->

@@ -27,7 +27,7 @@ let send_report t group =
 let join t group =
   if t.running && not (Hashtbl.mem t.groups group) then begin
     let response =
-      Engine.Timer.create t.env.Mld_env.sim
+      Engine.Timer.create ~category:"mld" t.env.Mld_env.sim
         ~name:(t.env.Mld_env.label ^ ".resp." ^ Addr.to_string group)
         ~on_expire:(fun () -> if t.running then send_report t group)
     in
@@ -43,7 +43,7 @@ let join t group =
       if i = 0 then send_report t group
       else
         let handle =
-          Engine.Sim.schedule_after t.env.Mld_env.sim (float_of_int i *. interval)
+          Engine.Sim.schedule_after ~category:"mld" t.env.Mld_env.sim (float_of_int i *. interval)
             (fun () -> if t.running && Hashtbl.mem t.groups group then send_report t group)
         in
         st.pending_unsolicited <- handle :: st.pending_unsolicited

@@ -55,7 +55,7 @@ let create env callbacks =
         callbacks;
         members = Hashtbl.create 8;
         query_timer =
-          Engine.Timer.create env.Mld_env.sim ~name:(env.Mld_env.label ^ ".query")
+          Engine.Timer.create ~category:"mld" env.Mld_env.sim ~name:(env.Mld_env.label ^ ".query")
             ~on_expire:(fun () -> on_query_timer (Lazy.force t));
         role = Querier;
         running = false;
@@ -93,7 +93,7 @@ let refresh_membership t group =
   | Some m -> Engine.Timer.start m.expiry lifetime
   | None ->
     let expiry =
-      Engine.Timer.create t.env.Mld_env.sim
+      Engine.Timer.create ~category:"mld" t.env.Mld_env.sim
         ~name:(t.env.Mld_env.label ^ ".member." ^ Addr.to_string group)
         ~on_expire:(fun () ->
           match Hashtbl.find_opt t.members group with
@@ -113,7 +113,7 @@ let become_non_querier t ~observed_querier:_ =
      Engine.Timer.start other_querier (Mld_config.other_querier_present_interval (config t))
    | Querier ->
      let other_querier =
-       Engine.Timer.create t.env.Mld_env.sim ~name:(t.env.Mld_env.label ^ ".oqp")
+       Engine.Timer.create ~category:"mld" t.env.Mld_env.sim ~name:(t.env.Mld_env.label ^ ".oqp")
          ~on_expire:(fun () ->
            if t.running then begin
              trace t "other querier timed out; resuming querier role";
@@ -144,7 +144,7 @@ let send_specific_queries t group =
           (Mld_env.make_query t.env ~group:(Some group) ~max_response_delay:llqi);
         trace t "sent group-specific query for %s" (Addr.to_string group);
         ignore
-          (Engine.Sim.schedule_after t.env.Mld_env.sim llqi (fun () -> send_nth (n + 1)))
+          (Engine.Sim.schedule_after ~category:"mld" t.env.Mld_env.sim llqi (fun () -> send_nth (n + 1)))
       end
     in
     send_nth 0

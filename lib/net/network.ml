@@ -50,6 +50,12 @@ type t = {
      per-packet iteration a tight counted loop. *)
   mutable observers : (Link_id.t -> Packet.t -> unit) array;
   mutable n_observers : int;
+  (* Frame observers additionally see the sender and L2 destination;
+     the packet-capture layer filters on them.  Same growable-array
+     scheme, same zero cost when none are registered. *)
+  mutable frame_observers :
+    (link:Link_id.t -> from:Node_id.t -> dest:l2_dest -> Packet.t -> unit) array;
+  mutable n_frame_observers : int;
   conditions : (Link_id.t, condition) Hashtbl.t;
   (* Independent fault randomness: [loss_rng] is split from the root
      stream (as it always was); the duplication and reordering streams
@@ -85,6 +91,8 @@ let create sim topology =
     dropped = 0;
     observers = [||];
     n_observers = 0;
+    frame_observers = [||];
+    n_frame_observers = 0;
     conditions = Hashtbl.create 4;
     loss_rng;
     dup_rng = Engine.Rng.derive loss_rng 1;
@@ -278,6 +286,9 @@ let transmit t ~from ~link dest packet =
       for i = 0 to t.n_observers - 1 do
         (Array.unsafe_get t.observers i) link packet
       done;
+      for i = 0 to t.n_frame_observers - 1 do
+        (Array.unsafe_get t.frame_observers i) ~link ~from ~dest packet
+      done;
       (* Propagation plus serialization: the link's bandwidth turns the
          packet size into transmission time. *)
       let base_delay =
@@ -295,7 +306,7 @@ let transmit t ~from ~link dest packet =
       in
       let schedule to_node delay =
         ignore
-          (Engine.Sim.schedule_after t.sim delay (fun () ->
+          (Engine.Sim.schedule_after ~category:"net" t.sim delay (fun () ->
                deliver t ~link ~from ~to_node packet))
       in
       List.iter
@@ -356,6 +367,15 @@ let add_transmit_observer t f =
   end;
   t.observers.(t.n_observers) <- f;
   t.n_observers <- t.n_observers + 1
+
+let add_frame_observer t f =
+  if t.n_frame_observers = Array.length t.frame_observers then begin
+    let grown = Array.make (max 4 (2 * t.n_frame_observers)) f in
+    Array.blit t.frame_observers 0 grown 0 t.n_frame_observers;
+    t.frame_observers <- grown
+  end;
+  t.frame_observers.(t.n_frame_observers) <- f;
+  t.n_frame_observers <- t.n_frame_observers + 1
 
 let reset_stats t =
   Hashtbl.reset t.per_link;

@@ -153,4 +153,13 @@ val add_transmit_observer : t -> (Ids.Link_id.t -> Packet.t -> unit) -> unit
 (** Called synchronously on every transmit, before delivery, in
     registration order.  Registration is O(1) amortized. *)
 
+val add_frame_observer :
+  t ->
+  (link:Ids.Link_id.t -> from:Ids.Node_id.t -> dest:l2_dest -> Packet.t -> unit) ->
+  unit
+(** Like {!add_transmit_observer} but also sees the transmitting node
+    and the L2 destination — the packet-capture layer's hook, whose
+    per-node filters need the sender.  Zero per-packet cost while no
+    frame observer is registered. *)
+
 val reset_stats : t -> unit

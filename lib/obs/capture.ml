@@ -1,0 +1,78 @@
+open Net
+module Link_id = Ids.Link_id
+module Node_id = Ids.Node_id
+
+type t = {
+  writer : Pcapng.Writer.t;
+  sim : Engine.Sim.t;
+  ifaces : (Link_id.t, int) Hashtbl.t;  (* captured links -> pcapng interface *)
+  node_filter : Node_id.Set.t option;  (* None = capture every sender *)
+  mutable captured : int;
+  mutable unencodable : int;
+}
+
+let resolve_links topo = function
+  | None -> Topology.links topo
+  | Some names ->
+    List.map
+      (fun name ->
+        match Topology.find_link_by_name topo name with
+        | Some l -> l
+        | None -> invalid_arg (Printf.sprintf "Capture.attach: unknown link %S" name))
+      names
+
+let resolve_nodes topo = function
+  | None -> None
+  | Some names ->
+    Some
+      (List.fold_left
+         (fun acc name ->
+           match Topology.find_node_by_name topo name with
+           | Some n -> Node_id.Set.add n acc
+           | None ->
+             invalid_arg (Printf.sprintf "Capture.attach: unknown node %S" name))
+         Node_id.Set.empty names)
+
+let attach ?links ?nodes ?application net =
+  let topo = Network.topology net in
+  let writer = Pcapng.Writer.create ?application () in
+  let ifaces = Hashtbl.create 8 in
+  List.iter
+    (fun link ->
+      let id =
+        Pcapng.Writer.add_interface writer ~name:(Topology.link_name topo link) ()
+      in
+      Hashtbl.replace ifaces link id)
+    (resolve_links topo links);
+  let t =
+    { writer;
+      sim = Network.sim net;
+      ifaces;
+      node_filter = resolve_nodes topo nodes;
+      captured = 0;
+      unencodable = 0 }
+  in
+  Network.add_frame_observer net (fun ~link ~from ~dest:_ packet ->
+      match Hashtbl.find_opt t.ifaces link with
+      | None -> ()
+      | Some iface ->
+        let wanted =
+          match t.node_filter with
+          | None -> true
+          | Some set -> Node_id.Set.mem from set
+        in
+        if wanted then (
+          match Ipv6.Codec.encode packet with
+          | frame ->
+            Pcapng.Writer.add_packet t.writer ~iface
+              ~ts:(Engine.Time.seconds (Engine.Sim.now t.sim))
+              frame;
+            t.captured <- t.captured + 1
+          | exception Ipv6.Codec.Error _ -> t.unencodable <- t.unencodable + 1));
+  t
+
+let frames t = t.captured
+let unencodable t = t.unencodable
+let writer t = t.writer
+let contents t = Pcapng.Writer.contents t.writer
+let to_file t path = Pcapng.Writer.to_file t.writer path

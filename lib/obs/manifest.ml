@@ -1,0 +1,73 @@
+let schema = "mmcast-manifest/1"
+
+type t = {
+  tool : string;
+  argv : string list;
+  cwd : string;
+  ocaml_version : string;
+  git : string option;
+  started : float;  (* epoch seconds *)
+  t0 : float;       (* for wall_s *)
+  mutable fields : (string * Json.t) list;  (* newest first *)
+  mutable outputs : (string * string) list; (* newest first: kind, path *)
+}
+
+let git_describe () =
+  match
+    Unix.open_process_in "git describe --always --dirty 2>/dev/null"
+  with
+  | exception _ -> None
+  | ic ->
+    let line = try Some (String.trim (input_line ic)) with End_of_file -> None in
+    (match Unix.close_process_in ic with
+     | Unix.WEXITED 0 -> (match line with Some "" -> None | d -> d)
+     | _ | (exception _) -> None)
+
+let create ?argv ~tool () =
+  let argv =
+    match argv with
+    | Some a -> a
+    | None -> Array.to_list Sys.argv
+  in
+  { tool;
+    argv;
+    cwd = Sys.getcwd ();
+    ocaml_version = Sys.ocaml_version;
+    git = git_describe ();
+    started = Unix.gettimeofday ();
+    t0 = Unix.gettimeofday ();
+    fields = [];
+    outputs = [] }
+
+let add t key value =
+  if List.mem_assoc key t.fields then
+    t.fields <- List.map (fun (k, v) -> (k, if k = key then value else v)) t.fields
+  else t.fields <- (key, value) :: t.fields
+
+let add_int t key v = add t key (Json.Int v)
+let add_string t key v = add t key (Json.String v)
+let add_float t key v = add t key (Json.float v)
+
+let add_output t ~kind path = t.outputs <- (kind, path) :: t.outputs
+
+let to_json t =
+  let outputs =
+    List.rev_map
+      (fun (kind, path) ->
+        Json.Obj [ ("kind", Json.String kind); ("path", Json.String path) ])
+      t.outputs
+  in
+  Json.Obj
+    ([ ("schema", Json.String schema);
+       ("tool", Json.String t.tool);
+       ("argv", Json.strings t.argv);
+       ("cwd", Json.String t.cwd);
+       ("os", Json.String Sys.os_type);
+       ("ocaml_version", Json.String t.ocaml_version);
+       ("git", Json.opt (fun g -> Json.String g) t.git);
+       ("started_epoch_s", Json.float t.started);
+       ("wall_s", Json.float (Unix.gettimeofday () -. t.t0)) ]
+     @ List.rev t.fields
+     @ [ ("outputs", Json.List outputs) ])
+
+let write t ~path = Json.write_file ~pretty:true ~path (to_json t)

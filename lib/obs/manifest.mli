@@ -1,0 +1,40 @@
+(** Run manifests: everything needed to re-run the experiment that
+    produced an artifact.
+
+    A manifest records the tool and argv, the working directory, the
+    OCaml version, [git describe] of the working tree, wall-clock
+    start/duration, plus whatever experiment fields the caller adds
+    (seed, approach, topology, timer configuration) and the list of
+    artifacts written alongside it.  Every CLI and bench entry point
+    writes one next to its outputs. *)
+
+type t
+
+val schema : string
+(** ["mmcast-manifest/1"]. *)
+
+val create : ?argv:string list -> tool:string -> unit -> t
+(** Captures argv (default [Sys.argv]), cwd, OCaml version and git
+    describe at call time, and starts the wall clock. *)
+
+val add : t -> string -> Json.t -> unit
+(** Append an experiment field; emitted in insertion order.  Adding an
+    existing key replaces its value in place. *)
+
+val add_int : t -> string -> int -> unit
+val add_string : t -> string -> string -> unit
+val add_float : t -> string -> float -> unit
+
+val add_output : t -> kind:string -> string -> unit
+(** Record an artifact path this run wrote (e.g. kind ["telemetry"],
+    ["capture"], ["report"]). *)
+
+val git_describe : unit -> string option
+(** [git describe --always --dirty] of the current directory; [None]
+    when git or the repository is unavailable. *)
+
+val to_json : t -> Json.t
+(** Stamps [wall_s] (elapsed since {!create}) at call time. *)
+
+val write : t -> path:string -> unit
+(** Pretty-printed, trailing newline. *)

@@ -1,0 +1,268 @@
+let linktype_ipv6 = 229
+
+(* Block types. *)
+let shb_type = 0x0A0D0D0A
+let idb_type = 0x00000001
+let epb_type = 0x00000006
+
+let byte_order_magic = 0x1A2B3C4D
+
+(* Option codes. *)
+let opt_endofopt = 0
+let opt_shb_userappl = 4
+let opt_if_name = 2
+let opt_if_tsresol = 9
+
+let tsresol = 6 (* microseconds, the pcapng default *)
+
+module Writer = struct
+  type t = {
+    buf : Buffer.t;
+    mutable interfaces : int;  (* ids handed out so far *)
+    mutable packets : int;
+  }
+
+  let u16 buf v =
+    Buffer.add_char buf (Char.chr (v land 0xFF));
+    Buffer.add_char buf (Char.chr ((v lsr 8) land 0xFF))
+
+  let u32 buf v =
+    u16 buf (v land 0xFFFF);
+    u16 buf ((v lsr 16) land 0xFFFF)
+
+  let pad_to_32 buf len =
+    for _ = 1 to (4 - (len land 3)) land 3 do
+      Buffer.add_char buf '\000'
+    done
+
+  let option buf code value =
+    u16 buf code;
+    u16 buf (String.length value);
+    Buffer.add_string buf value;
+    pad_to_32 buf (String.length value)
+
+  let end_of_options buf =
+    u16 buf opt_endofopt;
+    u16 buf 0
+
+  (* A block is its type, total length, body (32-bit padded), and the
+     total length again (backward navigation). *)
+  let block t block_type body =
+    let total = 8 + Bytes.length body + 4 in
+    u32 t.buf block_type;
+    u32 t.buf total;
+    Buffer.add_bytes t.buf body;
+    u32 t.buf total
+
+  let body_buf () = Buffer.create 64
+
+  let create ?(application = "mmcast obs") () =
+    let t = { buf = Buffer.create 4096; interfaces = 0; packets = 0 } in
+    let body = body_buf () in
+    u32 body byte_order_magic;
+    u16 body 1 (* major *);
+    u16 body 0 (* minor *);
+    u32 body 0xFFFFFFFF (* section length: unspecified *)
+    ;
+    u32 body 0xFFFFFFFF;
+    option body opt_shb_userappl application;
+    end_of_options body;
+    block t shb_type (Buffer.to_bytes body);
+    t
+
+  let add_interface t ?(link_type = linktype_ipv6) ~name () =
+    let body = body_buf () in
+    u16 body link_type;
+    u16 body 0 (* reserved *);
+    u32 body 0 (* snaplen: unlimited *);
+    option body opt_if_name name;
+    option body opt_if_tsresol (String.make 1 (Char.chr tsresol));
+    end_of_options body;
+    block t idb_type (Buffer.to_bytes body);
+    let id = t.interfaces in
+    t.interfaces <- t.interfaces + 1;
+    id
+
+  let add_packet t ~iface ~ts data =
+    if iface < 0 || iface >= t.interfaces then
+      invalid_arg (Printf.sprintf "Pcapng.add_packet: unknown interface %d" iface);
+    let body = body_buf () in
+    u32 body iface;
+    let units = Int64.of_float ((ts *. 1e6) +. 0.5) in
+    u32 body (Int64.to_int (Int64.shift_right_logical units 32) land 0xFFFFFFFF);
+    u32 body (Int64.to_int (Int64.logand units 0xFFFFFFFFL));
+    u32 body (Bytes.length data);
+    u32 body (Bytes.length data);
+    Buffer.add_bytes body data;
+    pad_to_32 body (Bytes.length data);
+    block t epb_type (Buffer.to_bytes body);
+    t.packets <- t.packets + 1
+
+  let packet_count t = t.packets
+  let contents t = Buffer.to_bytes t.buf
+
+  let to_file t path =
+    let oc = open_out_bin path in
+    Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+        Buffer.output_buffer oc t.buf)
+end
+
+(* ---- reader ---- *)
+
+type interface = {
+  intf_link_type : int;
+  intf_name : string option;
+  intf_tsresol : int;
+}
+
+type frame = {
+  frame_interface : int;
+  frame_ts : float;
+  frame_data : bytes;
+  frame_orig_len : int;
+}
+
+type capture = {
+  interfaces : interface list;
+  frames : frame list;
+  application : string option;
+}
+
+exception Bad of string
+
+let failf fmt = Printf.ksprintf (fun s -> raise (Bad s)) fmt
+
+type reader = { data : bytes; mutable big_endian : bool }
+
+let ru16 r off =
+  if off + 2 > Bytes.length r.data then failf "truncated u16 at %d" off;
+  let a = Char.code (Bytes.get r.data off) in
+  let b = Char.code (Bytes.get r.data (off + 1)) in
+  if r.big_endian then (a lsl 8) lor b else (b lsl 8) lor a
+
+let ru32 r off =
+  let lo = ru16 r off and hi = ru16 r (off + 2) in
+  if r.big_endian then (lo lsl 16) lor hi else (hi lsl 16) lor lo
+
+(* Options: (code, value) pairs until opt_endofopt or the region ends. *)
+let parse_options r ~off ~limit =
+  let rec loop off acc =
+    if off + 4 > limit then List.rev acc
+    else
+      let code = ru16 r off in
+      let len = ru16 r (off + 2) in
+      if code = opt_endofopt then List.rev acc
+      else if off + 4 + len > limit then failf "option overruns block at %d" off
+      else
+        let value = Bytes.sub_string r.data (off + 4) len in
+        let padded = (len + 3) land lnot 3 in
+        loop (off + 4 + padded) ((code, value) :: acc)
+  in
+  loop off []
+
+let read data =
+  try
+    let r = { data; big_endian = false } in
+    let interfaces = ref [] in
+    let frames = ref [] in
+    let application = ref None in
+    let len = Bytes.length data in
+    if len = 0 then failf "empty capture";
+    let rec blocks off =
+      if off = len then ()
+      else if off + 12 > len then failf "truncated block header at %d" off
+      else begin
+        (* The SHB's byte-order magic decides endianness for its
+           section; probe it before trusting the length field. *)
+        let block_type_le =
+          r.big_endian <- false;
+          ru32 r off
+        in
+        if block_type_le = shb_type then begin
+          let magic_le =
+            r.big_endian <- false;
+            ru32 r (off + 8)
+          in
+          if magic_le <> byte_order_magic then begin
+            r.big_endian <- true;
+            if ru32 r (off + 8) <> byte_order_magic then
+              failf "bad byte-order magic at %d" (off + 8)
+          end
+        end;
+        let block_type = ru32 r off in
+        let total = ru32 r (off + 4) in
+        if total < 12 || total land 3 <> 0 then
+          failf "bad block length %d at %d" total off;
+        if off + total > len then failf "block overruns file at %d" off;
+        let trailing = ru32 r (off + total - 4) in
+        if trailing <> total then
+          failf "mismatched trailing length at %d (%d <> %d)" off trailing total;
+        let body = off + 8 in
+        let body_limit = off + total - 4 in
+        if block_type = shb_type then begin
+          let major = ru16 r (body + 4) in
+          if major <> 1 then failf "unsupported pcapng major version %d" major;
+          List.iter
+            (fun (code, v) ->
+              if code = opt_shb_userappl then application := Some v)
+            (parse_options r ~off:(body + 16) ~limit:body_limit)
+        end
+        else if block_type = idb_type then begin
+          let link_type = ru16 r body in
+          let opts = parse_options r ~off:(body + 8) ~limit:body_limit in
+          let name = Option.map Fun.id (List.assoc_opt opt_if_name opts) in
+          let resol =
+            match List.assoc_opt opt_if_tsresol opts with
+            | Some v when String.length v = 1 ->
+              let raw = Char.code v.[0] in
+              if raw land 0x80 <> 0 then
+                failf "power-of-two timestamp resolution unsupported"
+              else raw
+            | Some _ | None -> 6
+          in
+          interfaces :=
+            { intf_link_type = link_type; intf_name = name; intf_tsresol = resol }
+            :: !interfaces
+        end
+        else if block_type = epb_type then begin
+          let iface = ru32 r body in
+          let ts_hi = ru32 r (body + 4) in
+          let ts_lo = ru32 r (body + 8) in
+          let cap_len = ru32 r (body + 12) in
+          let orig_len = ru32 r (body + 16) in
+          if body + 20 + cap_len > body_limit then
+            failf "packet data overruns block at %d" off;
+          let n_interfaces = List.length !interfaces in
+          if iface >= n_interfaces then
+            failf "packet references unknown interface %d" iface;
+          let resol =
+            (List.nth (List.rev !interfaces) iface).intf_tsresol
+          in
+          let units =
+            Int64.logor
+              (Int64.shift_left (Int64.of_int ts_hi) 32)
+              (Int64.of_int ts_lo)
+          in
+          let ts = Int64.to_float units /. (10.0 ** float_of_int resol) in
+          frames :=
+            { frame_interface = iface;
+              frame_ts = ts;
+              frame_data = Bytes.sub data (body + 20) cap_len;
+              frame_orig_len = orig_len }
+            :: !frames
+        end;
+        (* Unknown block types are skipped, as the format intends. *)
+        blocks (off + total)
+      end
+    in
+    blocks 0;
+    Ok
+      { interfaces = List.rev !interfaces;
+        frames = List.rev !frames;
+        application = !application }
+  with Bad msg -> Error msg
+
+let read_file path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | contents -> read (Bytes.of_string contents)
+  | exception Sys_error msg -> Error msg

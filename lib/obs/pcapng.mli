@@ -1,0 +1,56 @@
+(** Pcapng (RFC draft-ietf-opsawg-pcapng) capture files.
+
+    The writer emits one section with one interface per simulated link
+    (LINKTYPE_IPV6, so Wireshark dissects the frames as raw IPv6) and
+    one Enhanced Packet Block per transmitted frame, timestamped in
+    microseconds of simulated time.  The reader parses everything the
+    writer produces — and standard little- or big-endian pcapng
+    generally — so captures round-trip in-process without external
+    tools. *)
+
+val linktype_ipv6 : int
+(** 229: each frame body is a raw IPv6 packet. *)
+
+module Writer : sig
+  type t
+
+  val create : ?application:string -> unit -> t
+  (** Starts the section; [application] is recorded as the
+      [shb_userappl] option (default ["mmcast obs"]). *)
+
+  val add_interface : t -> ?link_type:int -> name:string -> unit -> int
+  (** Returns the interface id to pass to {!add_packet}.  Interfaces
+      must be added before packets referencing them. *)
+
+  val add_packet : t -> iface:int -> ts:float -> bytes -> unit
+  (** [ts] is in seconds; stored with microsecond resolution.
+      @raise Invalid_argument for an unknown [iface]. *)
+
+  val packet_count : t -> int
+  val contents : t -> bytes
+  val to_file : t -> string -> unit
+end
+
+(** {2 Reading} *)
+
+type interface = {
+  intf_link_type : int;
+  intf_name : string option;
+  intf_tsresol : int;  (** negative power of ten, e.g. 6 = microseconds *)
+}
+
+type frame = {
+  frame_interface : int;
+  frame_ts : float;  (** seconds, resolution applied *)
+  frame_data : bytes;
+  frame_orig_len : int;
+}
+
+type capture = {
+  interfaces : interface list;  (** in id order *)
+  frames : frame list;  (** in file order *)
+  application : string option;
+}
+
+val read : bytes -> (capture, string) result
+val read_file : string -> (capture, string) result

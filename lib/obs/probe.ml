@@ -1,0 +1,41 @@
+let attach ?(profile = true) registry sim =
+  Registry.int_gauge registry ~unit_:"events" "engine.queue_depth" (fun () ->
+      Engine.Sim.pending sim);
+  Registry.int_gauge registry ~unit_:"events" "engine.events_executed" (fun () ->
+      Engine.Sim.events_executed sim);
+  (* Rates over the last sampling interval; the first tick has no
+     previous point and reports 0. *)
+  let sim_rate = Registry.series registry ~unit_:"events/s" "engine.events_per_sim_s" in
+  let wall_rate = Registry.series registry ~unit_:"events/s" "engine.events_per_wall_s" in
+  let last_executed = ref (Engine.Sim.events_executed sim) in
+  let last_sim_t = ref (Engine.Time.seconds (Engine.Sim.now sim)) in
+  let last_wall = ref (Unix.gettimeofday ()) in
+  Registry.add_sampler registry (fun () ->
+      let executed = Engine.Sim.events_executed sim in
+      let sim_t = Engine.Time.seconds (Engine.Sim.now sim) in
+      let wall = Unix.gettimeofday () in
+      let d_events = float_of_int (executed - !last_executed) in
+      let d_sim = sim_t -. !last_sim_t in
+      let d_wall = wall -. !last_wall in
+      Registry.append registry sim_rate (if d_sim > 0.0 then d_events /. d_sim else 0.0);
+      Registry.append registry wall_rate
+        (if d_wall > 0.0 then d_events /. d_wall else 0.0);
+      last_executed := executed;
+      last_sim_t := sim_t;
+      last_wall := wall);
+  if profile then begin
+    Engine.Sim.enable_profiling ~clock:Unix.gettimeofday sim;
+    Registry.add_sampler registry (fun () ->
+        List.iter
+          (fun (category, p) ->
+            let open Engine.Sim in
+            Registry.append registry
+              (Registry.series registry ~unit_:"s"
+                 (Printf.sprintf "engine.profile.%s.cpu_s" category))
+              p.cat_seconds;
+            Registry.append registry
+              (Registry.series registry ~unit_:"events"
+                 (Printf.sprintf "engine.profile.%s.events" category))
+              (float_of_int p.cat_events))
+          (Engine.Sim.profile sim))
+  end

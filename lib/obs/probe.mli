@@ -1,0 +1,18 @@
+(** Engine probes: simulator internals as exportable time-series.
+
+    {!attach} registers, on a {!Registry.t}:
+
+    {ul
+    {- [engine.queue_depth] — live events in the event queue;}
+    {- [engine.events_executed] — cumulative executed events;}
+    {- [engine.events_per_sim_s] — executed events per simulated
+       second, over the last sampling interval;}
+    {- [engine.events_per_wall_s] — the same against the monotonic
+       wall clock (the "fast as the hardware allows" number);}
+    {- [engine.profile.<category>.cpu_s] / [.events] — per-handler-category
+       cumulative timing, present when {!Engine.Sim.enable_profiling}
+       is on (attach enables it with a wall clock).}} *)
+
+val attach : ?profile:bool -> Registry.t -> Engine.Sim.t -> unit
+(** [profile] (default [true]) turns on {!Engine.Sim.enable_profiling}
+    with [Unix.gettimeofday] so handler categories are timed. *)

@@ -1,0 +1,148 @@
+let schema = "mmcast-telemetry/1"
+
+type series = {
+  s_name : string;
+  s_unit : string option;
+  mutable s_points : (float * float) list;  (* newest first *)
+}
+
+type snapshot =
+  | Snap_summary of string option * Engine.Stats.Summary.t
+  | Snap_histogram of Engine.Stats.Histogram.t
+
+type t = {
+  sim : Engine.Sim.t;
+  mutable all_series : series list;  (* newest first *)
+  by_name : (string, series) Hashtbl.t;
+  mutable samplers : (unit -> unit) list;  (* newest first *)
+  mutable snapshots : (string * snapshot) list;  (* newest first *)
+  mutable ticks : int;
+}
+
+let create sim =
+  { sim;
+    all_series = [];
+    by_name = Hashtbl.create 32;
+    samplers = [];
+    snapshots = [];
+    ticks = 0 }
+
+let series t ?unit_ name =
+  match Hashtbl.find_opt t.by_name name with
+  | Some s -> s
+  | None ->
+    let s = { s_name = name; s_unit = unit_; s_points = [] } in
+    Hashtbl.replace t.by_name name s;
+    t.all_series <- s :: t.all_series;
+    s
+
+let now_s t = Engine.Time.seconds (Engine.Sim.now t.sim)
+
+let append t s v = s.s_points <- (now_s t, v) :: s.s_points
+
+let add_sampler t f = t.samplers <- f :: t.samplers
+
+let gauge t ?unit_ name read =
+  let s = series t ?unit_ name in
+  add_sampler t (fun () -> append t s (read ()))
+
+let int_gauge t ?unit_ name read = gauge t ?unit_ name (fun () -> float_of_int (read ()))
+
+let counter t ?unit_ name c =
+  int_gauge t ?unit_ name (fun () -> Engine.Stats.Counter.value c)
+
+let timeline t ?unit_ name tl =
+  gauge t ?unit_ name (fun () -> Engine.Stats.Timeline.current tl)
+
+let summary t ?unit_ name s = t.snapshots <- (name, Snap_summary (unit_, s)) :: t.snapshots
+
+let histogram t name h = t.snapshots <- (name, Snap_histogram h) :: t.snapshots
+
+let sample t =
+  t.ticks <- t.ticks + 1;
+  (* Samplers run oldest-first so a tick's points land in registration
+     order, keeping exported documents stable. *)
+  List.iter (fun f -> f ()) (List.rev t.samplers)
+
+let run_sampler t ~every ~until =
+  if every <= 0.0 then invalid_arg "Registry.run_sampler: every must be positive";
+  let sim = t.sim in
+  let rec tick () =
+    sample t;
+    let next = Engine.Time.add (Engine.Sim.now sim) every in
+    if Engine.Time.compare next until <= 0 then
+      ignore (Engine.Sim.schedule_at ~category:"obs" sim next tick)
+  in
+  let first = Engine.Time.add (Engine.Sim.now sim) every in
+  if Engine.Time.compare first until <= 0 then
+    ignore (Engine.Sim.schedule_at ~category:"obs" sim first tick)
+
+let samples t = t.ticks
+
+let series_json s =
+  let points =
+    List.rev_map (fun (ts, v) -> Json.List [ Json.float ts; Json.float v ]) s.s_points
+  in
+  Json.Obj
+    (("name", Json.String s.s_name)
+     ::
+     (match s.s_unit with
+      | None -> []
+      | Some u -> [ ("unit", Json.String u) ])
+     @ [ ("points", Json.List points) ])
+
+let summary_json unit_ s =
+  let module Summary = Engine.Stats.Summary in
+  let base =
+    [ ("kind", Json.String "summary"); ("count", Json.Int (Summary.count s)) ]
+  in
+  let stats =
+    if Summary.count s = 0 then []
+    else
+      [ ("mean", Json.float (Summary.mean s));
+        ("stddev", Json.float (Summary.stddev s));
+        ("min", Json.float (Summary.min s));
+        ("max", Json.float (Summary.max s));
+        ("p50", Json.float (Summary.percentile s 0.5));
+        ("p90", Json.float (Summary.percentile s 0.9));
+        ("p99", Json.float (Summary.percentile s 0.99)) ]
+  in
+  let unit_field =
+    match unit_ with
+    | None -> []
+    | Some u -> [ ("unit", Json.String u) ]
+  in
+  Json.Obj (base @ unit_field @ stats)
+
+let histogram_json h =
+  let module Histogram = Engine.Stats.Histogram in
+  Json.Obj
+    [ ("kind", Json.String "histogram");
+      ("count", Json.Int (Histogram.count h));
+      ( "bins",
+        Json.List
+          (List.map
+             (fun (lo, n) -> Json.List [ Json.float lo; Json.Int n ])
+             (Histogram.bins h)) ) ]
+
+let to_json ?(meta = []) t =
+  let snapshots =
+    List.rev_map
+      (fun (name, snap) ->
+        let body =
+          match snap with
+          | Snap_summary (unit_, s) -> summary_json unit_ s
+          | Snap_histogram h -> histogram_json h
+        in
+        match body with
+        | Json.Obj fields -> Json.Obj (("name", Json.String name) :: fields)
+        | other -> other)
+      t.snapshots
+  in
+  Json.Obj
+    ([ ("schema", Json.String schema) ]
+     @ meta
+     @ [ ("sim_time_s", Json.float (now_s t));
+         ("samples", Json.Int t.ticks);
+         ("series", Json.List (List.rev_map series_json t.all_series));
+         ("distributions", Json.List snapshots) ])

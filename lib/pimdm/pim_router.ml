@@ -64,7 +64,7 @@ let refresh_neighbor t iface addr ~holdtime =
   | Some timer -> Engine.Timer.start timer holdtime
   | None ->
     let timer =
-      Engine.Timer.create t.env.Pim_env.sim
+      Engine.Timer.create ~category:"pim" t.env.Pim_env.sim
         ~name:(Printf.sprintf "%s.nbr.%d" t.env.Pim_env.label iface)
         ~on_expire:(fun () -> Hashtbl.remove t.neighbors (iface, addr))
     in
@@ -110,7 +110,7 @@ let make_oif t label =
     lazy
       { prune = Forwarding;
         prune_timer =
-          Engine.Timer.create t.env.Pim_env.sim ~name:(label ^ ".prune")
+          Engine.Timer.create ~category:"pim" t.env.Pim_env.sim ~name:(label ^ ".prune")
             ~on_expire:(fun () ->
               let o = Lazy.force o in
               match o.prune with
@@ -121,7 +121,7 @@ let make_oif t label =
               | Forwarding -> ());
         assert_lost = None;
         assert_timer =
-          Engine.Timer.create t.env.Pim_env.sim ~name:(label ^ ".assert")
+          Engine.Timer.create ~category:"pim" t.env.Pim_env.sim ~name:(label ^ ".assert")
             ~on_expire:(fun () -> (Lazy.force o).assert_lost <- None);
         leaf_flooded = false }
   in
@@ -159,7 +159,7 @@ let create_entry t ~source ~group (rpf : Pim_env.rpf_result) =
         upstream = rpf.upstream;
         iif_assert = None;
         iif_assert_timer =
-          Engine.Timer.create t.env.Pim_env.sim ~name:(label ^ ".iif-assert")
+          Engine.Timer.create ~category:"pim" t.env.Pim_env.sim ~name:(label ^ ".iif-assert")
             ~on_expire:(fun () ->
               let e = Lazy.force entry in
               e.iif_assert <- None;
@@ -170,11 +170,11 @@ let create_entry t ~source ~group (rpf : Pim_env.rpf_result) =
               end);
         oifs = Hashtbl.create 4;
         expiry =
-          Engine.Timer.create t.env.Pim_env.sim ~name:(label ^ ".expiry")
+          Engine.Timer.create ~category:"pim" t.env.Pim_env.sim ~name:(label ^ ".expiry")
             ~on_expire:(fun () -> delete_entry t (Lazy.force entry));
         upstream_state = Joined;
         graft_timer =
-          Engine.Timer.create t.env.Pim_env.sim ~name:(label ^ ".graft")
+          Engine.Timer.create ~category:"pim" t.env.Pim_env.sim ~name:(label ^ ".graft")
             ~on_expire:(fun () ->
               let e = Lazy.force entry in
               if e.upstream_state = Grafting then begin
@@ -206,7 +206,7 @@ let create_entry t ~source ~group (rpf : Pim_env.rpf_result) =
    | Some interval, None ->
      let rec timer =
        lazy
-         (Engine.Timer.create t.env.Pim_env.sim ~name:(label ^ ".refresh")
+         (Engine.Timer.create ~category:"pim" t.env.Pim_env.sim ~name:(label ^ ".refresh")
             ~on_expire:(fun () ->
               if t.running && Hashtbl.mem t.entries (entry_key source group) then begin
                 originate_state_refresh t entry ~interval;
@@ -311,7 +311,7 @@ let schedule_join_override t entry =
         (Engine.Time.seconds (config t).Pim_config.join_override_max)
     in
     let handle =
-      Engine.Sim.schedule_after t.env.Pim_env.sim delay (fun () ->
+      Engine.Sim.schedule_after ~category:"pim" t.env.Pim_env.sim delay (fun () ->
           entry.join_override <- None;
           if t.running then
             match entry.upstream with
@@ -654,7 +654,7 @@ let create env =
         entries = Hashtbl.create 8;
         neighbors = Hashtbl.create 8;
         hello_timer =
-          Engine.Timer.create env.Pim_env.sim ~name:(env.Pim_env.label ^ ".hello")
+          Engine.Timer.create ~category:"pim" env.Pim_env.sim ~name:(env.Pim_env.label ^ ".hello")
             ~on_expire:(fun () ->
               let t = Lazy.force t in
               if t.running then begin

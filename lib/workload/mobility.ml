@@ -9,7 +9,7 @@ let script scenario host moves =
     (fun (time, link_name) ->
       let link = link_by_name scenario link_name in
       ignore
-        (Engine.Sim.schedule_at scenario.Scenario.sim time (fun () ->
+        (Engine.Sim.schedule_at ~category:"mobility" scenario.Scenario.sim time (fun () ->
              Host_stack.move_to host link)))
     moves
 
@@ -36,9 +36,9 @@ let random_walk scenario host ~rng ~links ~dwell_mean ~from_t ~until =
     end
   and schedule_next () =
     let dwell = Engine.Rng.exponential rng (Engine.Time.seconds dwell_mean) in
-    ignore (Engine.Sim.schedule_after sim dwell hop)
+    ignore (Engine.Sim.schedule_after ~category:"mobility" sim dwell hop)
   in
-  ignore (Engine.Sim.schedule_at sim from_t schedule_next);
+  ignore (Engine.Sim.schedule_at ~category:"mobility" sim from_t schedule_next);
   state
 
 let round_robin scenario host ~links ~period ~from_t ~until =
@@ -49,7 +49,7 @@ let round_robin scenario host ~links ~period ~from_t ~until =
     let time = Engine.Time.add from_t (float_of_int k *. period) in
     if Engine.Time.compare time until < 0 then begin
       ignore
-        (Engine.Sim.schedule_at scenario.Scenario.sim time (fun () ->
+        (Engine.Sim.schedule_at ~category:"mobility" scenario.Scenario.sim time (fun () ->
              Host_stack.move_to host link_ids.(k mod n)));
       nth (k + 1)
     end

@@ -405,6 +405,61 @@ let stats_extra_tests =
         | exception Invalid_argument _ -> ())
   ]
 
+(* Nearest-rank percentile edges and histogram bin boundaries: these
+   pins document behaviour the telemetry exporter (Obs.Registry)
+   depends on. *)
+let stats_edge_tests =
+  [ Alcotest.test_case "percentile nearest-rank edges" `Quick (fun () ->
+        let s = Stats.Summary.create () in
+        List.iter (Stats.Summary.add s) [ 10.0; 20.0; 30.0; 40.0 ];
+        (* p=0 gives rank 0, clamped to the smallest sample. *)
+        Alcotest.(check (float 1e-9)) "p=0" 10.0 (Stats.Summary.percentile s 0.0);
+        Alcotest.(check (float 1e-9)) "p=1" 40.0 (Stats.Summary.percentile s 1.0);
+        (* Even n: nearest-rank takes the lower of the middle pair,
+           never an interpolated value. *)
+        Alcotest.(check (float 1e-9)) "p=0.5 even n" 20.0
+          (Stats.Summary.percentile s 0.5);
+        (* Just past a rank boundary jumps to the next sample. *)
+        Alcotest.(check (float 1e-9)) "p=0.51" 30.0 (Stats.Summary.percentile s 0.51));
+    Alcotest.test_case "percentile single sample" `Quick (fun () ->
+        let s = Stats.Summary.create () in
+        Stats.Summary.add s 7.5;
+        List.iter
+          (fun p ->
+            Alcotest.(check (float 1e-9))
+              (Printf.sprintf "p=%g" p)
+              7.5
+              (Stats.Summary.percentile s p))
+          [ 0.0; 0.5; 1.0 ]);
+    Alcotest.test_case "percentile duplicate samples" `Quick (fun () ->
+        let s = Stats.Summary.create () in
+        List.iter (Stats.Summary.add s) [ 5.0; 5.0; 5.0; 9.0 ];
+        Alcotest.(check (float 1e-9)) "p=0.5" 5.0 (Stats.Summary.percentile s 0.5);
+        Alcotest.(check (float 1e-9)) "p=0.75" 5.0 (Stats.Summary.percentile s 0.75);
+        Alcotest.(check (float 1e-9)) "p=0.76" 9.0 (Stats.Summary.percentile s 0.76);
+        Alcotest.check_raises "p>1 rejected"
+          (Invalid_argument "Summary.percentile: p outside [0,1]") (fun () ->
+            ignore (Stats.Summary.percentile s 1.5)));
+    Alcotest.test_case "histogram bin boundaries half-open" `Quick (fun () ->
+        let h = Stats.Histogram.create ~bin_width:10.0 () in
+        (* Bins are [k*w, (k+1)*w): an exact boundary belongs to the
+           upper bin, a value just below stays in the lower one. *)
+        List.iter (Stats.Histogram.add h) [ 0.0; 9.999999; 10.0; 19.999999; 20.0 ];
+        Alcotest.(check (list (pair (float 1e-9) int)))
+          "bins" [ (0.0, 2); (10.0, 2); (20.0, 1) ]
+          (Stats.Histogram.bins h));
+    Alcotest.test_case "histogram fractional width truncation" `Quick (fun () ->
+        (* 0.3 /. 0.1 is 2.999...96 in binary floating point, so
+           truncation files 0.3 under the bin starting at 0.2 — pinned
+           here so a future "fix" is a deliberate choice. *)
+        let h = Stats.Histogram.create ~bin_width:0.1 () in
+        Stats.Histogram.add h 0.3;
+        match Stats.Histogram.bins h with
+        | [ (lo, 1) ] -> Alcotest.(check (float 1e-9)) "lower bound" 0.2 lo
+        | bins ->
+          Alcotest.failf "expected one bin, got %d" (List.length bins))
+  ]
+
 let trace_tests =
   [ Alcotest.test_case "records carry time and category" `Quick (fun () ->
         let sim = Sim.create () in
@@ -513,7 +568,7 @@ let () =
       ("sim", sim_tests);
       ("timer", timer_tests);
       ("rng", rng_tests @ rng_properties);
-      ("stats", stats_tests @ stats_extra_tests);
+      ("stats", stats_tests @ stats_extra_tests @ stats_edge_tests);
       ("trace", trace_tests);
       ("odds and ends", odds_and_ends)
     ]
