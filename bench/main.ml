@@ -447,47 +447,49 @@ let churn () =
      unsolicited Reports stays close behind at a fraction of the cost."
 
 let scale () =
-  section "Scaling beyond the paper: random topologies (workload.Topo_gen)";
-  Printf.printf "  %8s %8s %10s %12s %12s %12s %10s\n" "routers" "hosts" "sim events"
-    "cpu [ms]" "data [B]" "signal [B]" "delivered";
+  section
+    "Scale suite: generated scenarios x all four approaches under the invariant \
+     monitor";
+  let sizes = if !quick_setting then [ 25 ] else [ 25; 50; 100 ] in
+  let base_seed = 42 in
+  let jobs = !jobs_setting in
+  let cells = Scale.Suite.cells ~sizes ~base_seed () in
+  let rows = Scale.Suite.run ~jobs cells in
+  Format.printf "%a" Scale.Suite.pp_table rows;
+  let total = Scale.Suite.violation_total rows in
   List.iter
-    (fun routers ->
-      let hosts = 8 in
-      let scenario = Workload.Topo_gen.random_tree ~seed:11 ~routers ~hosts () in
-      let metrics = Metrics.attach scenario.Scenario.net in
-      (match scenario.Scenario.hosts with
-       | [] -> ()
-       | (_, sender) :: receivers ->
-         List.iter (fun (_, h) -> Host_stack.subscribe h group) receivers;
-         ignore
-           (Traffic.cbr scenario sender ~group ~from_t:30.0 ~until:330.0 ~interval:0.5
-              ~bytes:500);
-         (* One mobile receiver wanders. *)
-         (match receivers with
-          | (_, wanderer) :: _ ->
-            let links = Workload.Mobility.links_of scenario wanderer in
-            Workload.Mobility.round_robin scenario wanderer
-              ~links:(List.filteri (fun i _ -> i < 3) links)
-              ~period:60.0 ~from_t:60.0 ~until:300.0
-          | [] -> ());
-         let t0 = Sys.time () in
-         Scenario.run_until scenario 330.0;
-         let cpu_ms = (Sys.time () -. t0) *. 1000.0 in
-         let delivered =
-           List.fold_left
-             (fun acc (_, h) -> acc + Host_stack.received_count h ~group)
-             0 receivers
-         in
-         Printf.printf "  %8d %8d %10d %12.1f %12d %12d %10d\n" routers hosts
-           (Engine.Sim.events_executed scenario.Scenario.sim)
-           cpu_ms
-           (Metrics.bytes metrics Metrics.Data_native
-            + Metrics.bytes metrics Metrics.Data_tunnelled)
-           (Metrics.signalling_bytes metrics) delivered))
-    [ 5; 10; 20; 40; 80 ];
+    (fun row ->
+      List.iter
+        (fun (o : Scale.Runner.outcome) ->
+          List.iter
+            (fun v ->
+              Format.printf "  %s, approach %d:@,%a@." row.Scale.Suite.r_name
+                (Approach.number o.Scale.Runner.out_approach)
+                Check.Monitor.pp_violation v)
+            o.Scale.Runner.out_violations)
+        row.Scale.Suite.r_outcomes)
+    rows;
+  let doc =
+    match Scale.Suite.to_json rows with
+    | Obs.Json.Obj fields ->
+      Obs.Json.Obj
+        (fields
+        @ [ ("base_seed", Obs.Json.Int base_seed);
+            ("quick", Obs.Json.Bool !quick_setting);
+            ("manifest", Obs.Manifest.to_json (report_manifest ())) ])
+    | other -> other
+  in
+  let path = write_report ~kind:"scale" "BENCH_scale.json" doc in
+  Printf.printf "\n  JSON report written to %s\n" path;
+  if total > 0 then begin
+    Printf.eprintf "scale: %d invariant violation(s) detected\n" total;
+    exit 1
+  end;
   print_endline
-    "\n300 s of simulated time, 2 Hz stream, 7 subscribers, one of them roaming\n\
-     every minute; the simulator stays comfortably super-real-time at every size."
+    "\nWaxman and preferential-attachment router graphs with membership churn,\n\
+     handover churn and recoverable faults, every cell checked by the runtime\n\
+     invariant monitor: the protocols converge with zero violations at every\n\
+     size, and the simulator stays super-real-time throughout."
 
 (* ---- fault injection: reconvergence after failures ---- *)
 

@@ -724,6 +724,168 @@ let pcap_term =
   in
   Term.(ret (const pcap_cmd $ file $ verbose))
 
+(* ---- gen ---- *)
+
+let gen_cmd model routers hosts seed out =
+  match Scale.Gen.model_of_name model with
+  | None -> `Error (false, Printf.sprintf "unknown model %S (waxman or pref)" model)
+  | Some model ->
+    if routers < 2 then `Error (false, "need at least two routers")
+    else begin
+      let d = Scale.Gen.scenario ~model ?hosts ~routers ~seed () in
+      Printf.printf "%s: %s, duration %.1f s, digest %s\n" d.Scale.Desc.d_name
+        (Scale.Desc.size_summary d) d.Scale.Desc.d_duration (Scale.Desc.digest d);
+      (match Scale.Desc.validate d with
+       | Ok () -> ()
+       | Error e -> failwith ("generated descriptor failed validation: " ^ e));
+      Printf.printf "connected: %b, backbone links: %d\n" (Scale.Desc.connected d)
+        (List.length (Scale.Desc.backbone_links d));
+      (match out with
+       | None -> ()
+       | Some path ->
+         ensure_dir (Filename.dirname path);
+         Obs.Json.write_file ~pretty:true ~path (Scale.Desc.to_json d);
+         Printf.printf "descriptor -> %s\n" path);
+      `Ok ()
+    end
+
+let gen_term =
+  let model =
+    let doc = "Topology model: $(b,waxman) or $(b,pref) (preferential attachment)." in
+    Arg.(value & opt string "waxman" & info [ "model" ] ~docv:"MODEL" ~doc)
+  in
+  let routers =
+    let doc = "Router count." in
+    Arg.(value & opt int 25 & info [ "routers" ] ~docv:"N" ~doc)
+  in
+  let hosts =
+    let doc = "Host count (default: max 4 (routers/5))." in
+    Arg.(value & opt (some int) None & info [ "hosts" ] ~docv:"N" ~doc)
+  in
+  let out =
+    let doc = "Write the scenario descriptor JSON to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "o"; "out" ] ~docv:"FILE" ~doc)
+  in
+  Term.(ret (const gen_cmd $ model $ routers $ hosts $ seed_arg $ out))
+
+(* ---- scale ---- *)
+
+let shrink_sustain = 10.0
+
+let shrink_demo ~seed ~telemetry =
+  (* The seeded broken variant must violate, shrink to a small
+     reproduction, and the reproduction must replay to the same
+     violation — the self-test of the whole shrink pipeline. *)
+  let broken = Scale.Gen.broken ~seed () in
+  Printf.printf "\nbroken variant %s (%s, grafts disabled):\n" broken.Scale.Desc.d_name
+    (Scale.Desc.size_summary broken);
+  let approach = Approach.local_membership in
+  match Scale.Shrink.minimize ~sustain:shrink_sustain broken approach with
+  | None -> `Error (false, "broken variant did not violate any invariant")
+  | Some r ->
+    Printf.printf "  %s violated; minimized to %s in %d oracle run(s)\n"
+      (Check.Monitor.invariant_name r.Scale.Shrink.sh_invariant)
+      (Scale.Desc.size_summary r.Scale.Shrink.sh_min)
+      r.Scale.Shrink.sh_runs;
+    let repro = Scale.Repro.of_shrink r ~sustain:shrink_sustain in
+    Printf.printf "  %s\n" repro.Scale.Repro.rp_detail;
+    (match telemetry with
+     | None -> ()
+     | Some dir ->
+       let path = Scale.Repro.write repro ~dir in
+       Printf.printf "  minimal repro -> %s\n" path);
+    if Scale.Repro.replay repro = [] then
+      `Error (false, "minimal reproduction no longer replays its violation")
+    else begin
+      Printf.printf "  replay of the minimum reproduces the violation\n";
+      `Ok ()
+    end
+
+let scale_cmd quick sizes models seeds seed jobs telemetry =
+  let sizes =
+    match sizes with
+    | Some s -> s
+    | None -> if quick then [ 25 ] else [ 25; 50; 100 ]
+  in
+  let models =
+    match
+      List.map Scale.Gen.model_of_name
+        (String.split_on_char ',' (String.lowercase_ascii models))
+    with
+    | l when List.for_all Option.is_some l -> List.filter_map Fun.id l
+    | _ -> []
+  in
+  if models = [] then `Error (false, "models must name waxman and/or pref")
+  else if List.exists (fun s -> s < 2) sizes then
+    `Error (false, "every size needs at least two routers")
+  else begin
+    let cells = Scale.Suite.cells ~sizes ~models ~seeds ~base_seed:seed () in
+    Printf.printf
+      "scale matrix: %d scenario(s) x %d approaches, %d worker(s)\n%!"
+      (List.length cells) (List.length Approach.all) jobs;
+    let rows = Scale.Suite.run ~jobs cells in
+    Format.printf "%a" Scale.Suite.pp_table rows;
+    let total = Scale.Suite.violation_total rows in
+    List.iter
+      (fun row ->
+        List.iter
+          (fun (o : Scale.Runner.outcome) ->
+            List.iter
+              (fun v ->
+                Format.printf "@.%s, approach %d:@.%a@." row.Scale.Suite.r_name
+                  (Approach.number o.Scale.Runner.out_approach)
+                  Check.Monitor.pp_violation v)
+              o.Scale.Runner.out_violations)
+          row.Scale.Suite.r_outcomes)
+      rows;
+    (match telemetry with
+     | None -> ()
+     | Some dir ->
+       ensure_dir dir;
+       let path = Filename.concat dir "scale.json" in
+       Obs.Json.write_file ~pretty:true ~path (Scale.Suite.to_json rows);
+       let m = Obs.Manifest.create ~tool:"mmcast_sim" () in
+       Obs.Manifest.add_string m "command" "scale";
+       Obs.Manifest.add_int m "base_seed" seed;
+       Obs.Manifest.add m "sizes" (Obs.Json.List (List.map (fun s -> Obs.Json.Int s) sizes));
+       Obs.Manifest.add m "models"
+         (Obs.Json.strings (List.map Scale.Gen.model_name models));
+       Obs.Manifest.add_int m "jobs" jobs;
+       Obs.Manifest.add_int m "violations" total;
+       Obs.Manifest.add_output m ~kind:"scale" path;
+       Obs.Manifest.write m ~path:(Filename.concat dir "manifest.json");
+       Printf.printf "scale telemetry -> %s\n" path);
+    Printf.printf "\n%d scenario(s), %d violation(s) across the matrix\n"
+      (List.length rows) total;
+    match shrink_demo ~seed ~telemetry with
+    | `Error _ as e -> e
+    | `Ok () ->
+      if total > 0 then `Error (false, "invariant violations in the scale matrix")
+      else `Ok ()
+  end
+
+let scale_term =
+  let quick =
+    let doc = "Small matrix for CI: one 25-router scenario per model." in
+    Arg.(value & flag & info [ "quick" ] ~doc)
+  in
+  let sizes =
+    let doc = "Comma-separated router counts (default 25,50,100; 25 with --quick)." in
+    Arg.(value & opt (some (list int)) None & info [ "sizes" ] ~docv:"N,N,.." ~doc)
+  in
+  let models =
+    let doc = "Comma-separated topology models to run (waxman, pref)." in
+    Arg.(value & opt string "waxman,pref" & info [ "models" ] ~docv:"M,M" ~doc)
+  in
+  let seeds =
+    let doc = "Scenario seeds per (model, size) cell." in
+    Arg.(value & opt int 1 & info [ "seeds" ] ~docv:"K" ~doc)
+  in
+  Term.(
+    ret
+      (const scale_cmd $ quick $ sizes $ models $ seeds $ seed_arg $ jobs_arg
+      $ telemetry_arg))
+
 (* ---- assembly ---- *)
 
 let cmds =
@@ -747,7 +909,20 @@ let cmds =
          ~doc:
            "Validate and summarize a pcapng capture: every frame must re-decode \
             through the wire codec")
-      pcap_term ]
+      pcap_term;
+    Cmd.v
+      (Cmd.info "gen"
+         ~doc:
+           "Procedurally generate a seed-deterministic scale scenario and print or \
+            save its descriptor")
+      gen_term;
+    Cmd.v
+      (Cmd.info "scale"
+         ~doc:
+           "Run a matrix of generated scenarios under all four approaches with the \
+            invariant monitor, then shrink a seeded broken variant to a minimal \
+            replayable reproduction")
+      scale_term ]
 
 let () =
   let info =

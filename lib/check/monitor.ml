@@ -20,6 +20,13 @@ let invariant_name = function
   | Tunnel_coherence -> "tunnel-coherence"
   | Black_hole -> "black-hole"
 
+let all_invariants =
+  [ Assert_winner; Mld_querier; Forwarding_loop; Prune_graft; Tunnel_coherence;
+    Black_hole ]
+
+let invariant_of_name name =
+  List.find_opt (fun i -> String.equal (invariant_name i) name) all_invariants
+
 type violation = {
   v_invariant : invariant;
   v_at : Engine.Time.t;

@@ -48,6 +48,10 @@ type invariant =
 
 val invariant_name : invariant -> string
 
+val invariant_of_name : string -> invariant option
+(** Inverse of {!invariant_name} — the scenario-repro loader uses it to
+    re-match a persisted violation against a replay. *)
+
 type violation = {
   v_invariant : invariant;
   v_at : Engine.Time.t;  (** simulated time of detection *)

@@ -74,6 +74,25 @@ let clear t =
   Hashtbl.reset t.per_category;
   t.oldest_first <- None
 
+let digest t =
+  (* Fold newest-first so no reversal is forced; the digest is over a
+     canonical rendering (fixed-precision time), so two traces are
+     equal iff their digests are. *)
+  let ctx = Buffer.create 4096 in
+  let partials =
+    List.fold_left
+      (fun acc r ->
+        Buffer.clear ctx;
+        Buffer.add_string ctx (Printf.sprintf "%.9f|" r.at);
+        Buffer.add_string ctx r.category;
+        Buffer.add_char ctx '|';
+        Buffer.add_string ctx r.message;
+        Buffer.add_char ctx '\n';
+        Digest.string (Buffer.contents ctx) :: acc)
+      [] t.items
+  in
+  Digest.to_hex (Digest.string (String.concat "" partials))
+
 let pp_record ppf r =
   Format.fprintf ppf "[%a] %-6s %s" Time.pp r.at r.category r.message
 

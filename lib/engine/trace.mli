@@ -48,6 +48,14 @@ val count : ?category:string -> t -> int
 (** O(1): served from incrementally maintained counters, never by
     filtering the record list. *)
 
+val digest : t -> string
+(** Hex digest over every record (time at fixed precision, category,
+    message), oldest first.  Two traces digest equal iff they hold the
+    same records at the same times — the golden-trace regression tests
+    pin these per approach so a refactor that silently changes protocol
+    behaviour fails loudly.  O(n) without forcing the memoized
+    reversal. *)
+
 val clear : t -> unit
 
 val pp_record : Format.formatter -> record -> unit

@@ -134,4 +134,20 @@ let link_of_address t addr =
     (fun id l acc -> if Prefix.contains l.prefix addr then Some id else acc)
     t.link_table None
 
+let is_connected t =
+  match Node_id.Map.min_binding_opt t.node_table with
+  | None -> true
+  | Some (start, _) ->
+    let visited = Hashtbl.create 64 in
+    let rec walk id =
+      if not (Hashtbl.mem visited id) then begin
+        Hashtbl.replace visited id ();
+        Link_id.Set.iter
+          (fun l -> Node_id.Set.iter walk (link t l).members)
+          (node t id).attached
+      end
+    in
+    walk start;
+    Hashtbl.length visited = Node_id.Map.cardinal t.node_table
+
 let version t = t.version

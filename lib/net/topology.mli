@@ -73,5 +73,12 @@ val link_local : t -> Ids.Node_id.t -> Addr.t
 val link_of_address : t -> Addr.t -> Ids.Link_id.t option
 (** The link whose prefix covers the address (prefixes are disjoint). *)
 
+val is_connected : t -> bool
+(** Whether every node can reach every other node through the
+    node/link attachment graph.  An empty topology is connected.
+    Scenario generators use this as their post-condition: a scale
+    suite over a disconnected graph would report vacuous black-hole
+    violations. *)
+
 val version : t -> int
 (** Incremented on every add/attach/detach. *)

@@ -334,3 +334,19 @@ let to_float_opt = function
   | Int i -> Some (float_of_int i)
   | Float f -> Some f
   | Null | Bool _ | String _ | List _ | Obj _ -> None
+
+let to_int_opt = function
+  | Int i -> Some i
+  | Null | Bool _ | Float _ | String _ | List _ | Obj _ -> None
+
+let to_string_opt = function
+  | String s -> Some s
+  | Null | Bool _ | Int _ | Float _ | List _ | Obj _ -> None
+
+let to_bool_opt = function
+  | Bool b -> Some b
+  | Null | Int _ | Float _ | String _ | List _ | Obj _ -> None
+
+let to_list_opt = function
+  | List l -> Some l
+  | Null | Bool _ | Int _ | Float _ | String _ | Obj _ -> None

@@ -54,3 +54,11 @@ val member : string -> t -> t option
 
 val to_float_opt : t -> float option
 (** [Int] and [Float] both convert. *)
+
+val to_int_opt : t -> int option
+val to_string_opt : t -> string option
+val to_bool_opt : t -> bool option
+val to_list_opt : t -> t list option
+(** Shape-checked accessors ([None] on any other constructor) — the
+    scenario-descriptor loader decodes persisted reproductions with
+    these instead of pattern-matching inline. *)

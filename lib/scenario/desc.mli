@@ -1,0 +1,84 @@
+(** First-class scenario descriptors.
+
+    A descriptor is a pure data value holding everything that defines a
+    scale-suite scenario: the router graph and its LANs, the hosts and
+    where they are homed, the senders, the group-membership and
+    handover churn schedule, the fault schedule, and the protocol
+    knobs that matter for reproduction (seed, graft enablement).
+
+    Because it is plain data, a descriptor can be generated
+    procedurally ({!Gen}), executed under the invariant monitor
+    ({!Runner}), mutated structurally by the delta-debugging shrinker
+    ({!Shrink}), serialized to JSON and loaded back bit-for-bit
+    ({!to_json}/{!of_json}) — which is what makes a minimal failing
+    scenario replayable from its reproduction manifest alone. *)
+
+type traffic = {
+  tr_from : float;  (** first datagram, simulated seconds *)
+  tr_until : float;
+  tr_interval : float;
+  tr_bytes : int;
+}
+
+type event =
+  | Join of { at : float; host : string; group : int }
+  | Leave of { at : float; host : string; group : int }
+  | Move of { at : float; host : string; link : string }
+      (** handover of [host] to [link] *)
+
+type fault =
+  | Loss of { link : string; rate : float; from_t : float; until : float }
+  | Flap of { link : string; down_at : float; up_at : float }
+  | Crash of { router : string; at : float; recover_at : float }
+
+type t = {
+  d_name : string;
+  d_seed : int;
+  d_links : (string * string) list;  (** (name, /64 prefix) *)
+  d_routers : (string * string list * string list) list;
+      (** (name, attached links, home-agent links) *)
+  d_hosts : (string * string) list;  (** (name, home link) *)
+  d_senders : (string * int) list;  (** (host, group index) *)
+  d_traffic : traffic;
+  d_events : event list;  (** chronological *)
+  d_faults : fault list;
+  d_duration : float;
+  d_disable_graft : bool;
+      (** the deliberately-broken PIM variant ([--disable-graft]) — part
+          of the descriptor so a reproduction replays the same bug *)
+}
+
+val schema : string
+(** ["mmcast-scenario/1"]. *)
+
+val group_addr : int -> Ipv6.Addr.t
+(** Group index [i] maps to [ff0e::1:<i+1>]. *)
+
+val event_time : event -> float
+
+val validate : t -> (unit, string) result
+(** Structural soundness: every referenced link/router/host exists,
+    every host's home link is served by a home agent, times are finite
+    and within the run. *)
+
+val connected : t -> bool
+(** BFS over the descriptor's attachment graph (routers via their
+    attached links, hosts via their home links) without instantiating
+    a network. *)
+
+val backbone_links : t -> string list
+(** Links attached to two or more routers with no host homed on them —
+    the redundant edges the shrinker may try to drop. *)
+
+val size_summary : t -> string
+(** ["25r/49l/8h/14ev/2f"] — for tables and shrink logs. *)
+
+val to_json : t -> Obs.Json.t
+val of_json : Obs.Json.t -> (t, string) result
+(** Inverse of {!to_json}; rejects documents with a different
+    {!schema}. *)
+
+val digest : t -> string
+(** Hex digest of the canonical JSON encoding: equal descriptors digest
+    equal, so suite rows and reproduction manifests can name scenarios
+    stably. *)

@@ -1,0 +1,46 @@
+(** Procedural, seed-deterministic scenario generation.
+
+    Everything is drawn from {!Engine.Rng} streams rooted at the seed in
+    a fixed order, so a (model, size, seed) triple names exactly one
+    descriptor — byte-identical across runs and across [?jobs]
+    settings. *)
+
+type model = [ `Waxman | `Pref ]
+
+val model_name : model -> string
+(** ["waxman"] / ["pref"]. *)
+
+val model_of_name : string -> model option
+
+val scenario :
+  ?model:model ->
+  ?hosts:int ->
+  ?groups:int ->
+  ?mobiles:int ->
+  ?churn:int ->
+  ?faults:int ->
+  ?alpha:float ->
+  ?beta:float ->
+  ?m:int ->
+  routers:int ->
+  seed:int ->
+  unit ->
+  Desc.t
+(** A connected multi-LAN router graph from the chosen generator
+    (default [`Waxman]), one stub LAN per router, [hosts] hosts
+    (default [max 4 (routers / 5)]) on random stubs.  Host ["H0"] (plus
+    one host per extra group) sends CBR traffic; every other host joins
+    a group early ([6..14] s), [churn] leave/rejoin toggles and
+    [mobiles] handover excursions land in [15..60] s, and [faults]
+    impairments (backbone loss windows, flaps, crashes of routers that
+    serve no host) land in [25..55] s with every repair by 70 s.  The
+    duration leaves a settled tail longer than the monitor's
+    convergence bound after the last disruption, so a correct protocol
+    stack must finish with zero violations. *)
+
+val broken : ?routers:int -> seed:int -> unit -> Desc.t
+(** The seeded broken variant: grafts disabled ([d_disable_graft]), no
+    initial receivers — so PIM-DM prunes everywhere — then one late
+    join that can only be served by a Graft.  Padded with churn and
+    fault noise the shrinker must strip: the minimal reproduction is a
+    single join event and an empty fault schedule. *)

@@ -1,0 +1,133 @@
+module Json = Obs.Json
+module Monitor = Check.Monitor
+
+type t = {
+  rp_desc : Desc.t;
+  rp_approach : Mmcast.Approach.t;
+  rp_invariant : Monitor.invariant;
+  rp_sustain : Engine.Time.t;
+  rp_detail : string;
+  rp_trace : string list;
+}
+
+let schema = "mmcast-repro/1"
+
+let violation_matching inv outcome =
+  List.find_opt (fun v -> v.Monitor.v_invariant = inv) outcome.Runner.out_violations
+
+let render_trace records =
+  (* Violation excerpts arrive newest first; persist oldest first so
+     the bundle reads chronologically. *)
+  List.rev_map
+    (fun r ->
+      Printf.sprintf "%.3f [%s] %s" r.Engine.Trace.at r.Engine.Trace.category
+        r.Engine.Trace.message)
+    records
+
+let of_shrink (sh : Shrink.result) ~sustain =
+  let outcome = Runner.run ~sustain sh.Shrink.sh_min sh.Shrink.sh_approach in
+  let detail, trace =
+    match violation_matching sh.Shrink.sh_invariant outcome with
+    | Some v ->
+      ( Printf.sprintf "%s at t=%.1f on %s: %s"
+          (Monitor.invariant_name v.Monitor.v_invariant)
+          v.Monitor.v_at v.Monitor.v_where v.Monitor.v_detail,
+        render_trace v.Monitor.v_trace )
+    | None -> ("minimum did not re-violate at capture time", [])
+  in
+  { rp_desc = sh.Shrink.sh_min;
+    rp_approach = sh.Shrink.sh_approach;
+    rp_invariant = sh.Shrink.sh_invariant;
+    rp_sustain = sustain;
+    rp_detail = detail;
+    rp_trace = trace }
+
+let to_json t =
+  Json.Obj
+    [ ("schema", Json.String schema);
+      ("approach", Json.Int (Mmcast.Approach.number t.rp_approach));
+      ("invariant", Json.String (Monitor.invariant_name t.rp_invariant));
+      ("sustain_s", Json.float t.rp_sustain);
+      ("detail", Json.String t.rp_detail);
+      ("scenario", Desc.to_json t.rp_desc);
+      ("scenario_digest", Json.String (Desc.digest t.rp_desc));
+      ("trace", Json.strings t.rp_trace) ]
+
+let of_json j =
+  let ( let* ) = Result.bind in
+  let field name conv =
+    match Option.bind (Json.member name j) conv with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "repro: missing or ill-typed field %S" name)
+  in
+  let* s = field "schema" Json.to_string_opt in
+  if not (String.equal s schema) then Error (Printf.sprintf "repro: schema %S is not %S" s schema)
+  else
+    let* n = field "approach" Json.to_int_opt in
+    let* rp_approach =
+      if n >= 1 && n <= 4 then Ok (Mmcast.Approach.of_number n)
+      else Error (Printf.sprintf "repro: approach %d outside 1-4" n)
+    in
+    let* inv_name = field "invariant" Json.to_string_opt in
+    let* rp_invariant =
+      Option.to_result
+        ~none:(Printf.sprintf "repro: unknown invariant %S" inv_name)
+        (Monitor.invariant_of_name inv_name)
+    in
+    let* rp_sustain = field "sustain_s" Json.to_float_opt in
+    let* rp_detail = field "detail" Json.to_string_opt in
+    let* scenario =
+      Option.to_result ~none:"repro: missing field \"scenario\"" (Json.member "scenario" j)
+    in
+    let* rp_desc = Desc.of_json scenario in
+    let* trace = field "trace" Json.to_list_opt in
+    let* rp_trace =
+      List.fold_left
+        (fun acc line ->
+          let* rev = acc in
+          let* s = Option.to_result ~none:"repro: non-string trace line" (Json.to_string_opt line) in
+          Ok (s :: rev))
+        (Ok []) trace
+      |> Result.map List.rev
+    in
+    Ok { rp_desc; rp_approach; rp_invariant; rp_sustain; rp_detail; rp_trace }
+
+let ensure_dir dir = if not (Sys.file_exists dir) then Unix.mkdir dir 0o755
+
+let write t ~dir =
+  ensure_dir dir;
+  let path = Filename.concat dir (Printf.sprintf "repro_%s.json" t.rp_desc.Desc.d_name) in
+  let oc = open_out path in
+  output_string oc (Json.to_string ~pretty:true (to_json t));
+  output_char oc '\n';
+  close_out oc;
+  let manifest = Obs.Manifest.create ~tool:"mmcast-repro" () in
+  Obs.Manifest.add_string manifest "scenario" t.rp_desc.Desc.d_name;
+  Obs.Manifest.add_string manifest "scenario_digest" (Desc.digest t.rp_desc);
+  Obs.Manifest.add_int manifest "approach" (Mmcast.Approach.number t.rp_approach);
+  Obs.Manifest.add_string manifest "invariant" (Monitor.invariant_name t.rp_invariant);
+  Obs.Manifest.add_float manifest "sustain_s" t.rp_sustain;
+  Obs.Manifest.add manifest "size" (Json.String (Desc.size_summary t.rp_desc));
+  Obs.Manifest.add_output manifest ~kind:"repro" path;
+  Obs.Manifest.write manifest
+    ~path:(Filename.concat dir (Printf.sprintf "repro_%s_manifest.json" t.rp_desc.Desc.d_name));
+  path
+
+let load path =
+  match
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error msg -> Error msg
+  | contents ->
+    (match Json.of_string contents with
+    | Error msg -> Error (Printf.sprintf "%s: %s" path msg)
+    | Ok j -> of_json j)
+
+let replay t =
+  let outcome = Runner.run ~sustain:t.rp_sustain t.rp_desc t.rp_approach in
+  List.filter
+    (fun v -> v.Monitor.v_invariant = t.rp_invariant)
+    outcome.Runner.out_violations

@@ -1,0 +1,111 @@
+open Mmcast
+module Monitor = Check.Monitor
+
+type outcome = {
+  out_approach : Approach.t;
+  out_events : int;
+  out_wall_s : float;
+  out_sent : int;
+  out_delivered : int;
+  out_duplicates : int;
+  out_samples : int;
+  out_bound : Engine.Time.t;
+  out_violations : Monitor.violation list;
+}
+
+let spec_for (d : Desc.t) approach =
+  { Scenario.default_spec with
+    Scenario.approach;
+    seed = d.Desc.d_seed;
+    mld = Mld.Mld_config.with_query_interval 15.0 Mld.Mld_config.default;
+    pim =
+      { Pimdm.Pim_config.default with
+        Pimdm.Pim_config.state_refresh_interval = Some 20.0;
+        assert_time = 30.0;
+        enable_graft = not d.Desc.d_disable_graft };
+    mipv6 = { Mipv6.Mipv6_config.default with Mipv6.Mipv6_config.binding_lifetime = 40.0 }
+  }
+
+let groups_of (d : Desc.t) =
+  List.sort_uniq compare
+    (List.map snd d.Desc.d_senders
+    @ List.filter_map
+        (function
+          | Desc.Join { group; _ } | Desc.Leave { group; _ } -> Some group
+          | Desc.Move _ -> None)
+        d.Desc.d_events)
+
+let compile_faults scenario (d : Desc.t) =
+  let link name = Scenario.link scenario name in
+  List.map
+    (function
+      | Desc.Loss { link = l; rate; from_t; until } ->
+        Faults.loss_window ~link:(link l) ~rate ~from_t ~until
+      | Desc.Flap { link = l; down_at; up_at } ->
+        Faults.link_flap ~link:(link l) ~down_at ~up_at
+      | Desc.Crash { router; at; recover_at } ->
+        let node = Router_stack.node_id (Scenario.router scenario router) in
+        Faults.crash ~node ~at ~recover_at ())
+    d.Desc.d_faults
+
+let run ?sustain (d : Desc.t) approach =
+  (match Desc.validate d with
+  | Ok () -> ()
+  | Error msg -> invalid_arg (Printf.sprintf "Runner.run: %s: %s" d.Desc.d_name msg));
+  let wall0 = Unix.gettimeofday () in
+  let spec = spec_for d approach in
+  let scenario =
+    Scenario.build spec ~links:d.Desc.d_links ~routers:d.Desc.d_routers
+      ~hosts:d.Desc.d_hosts
+  in
+  let faults = Scenario.install_faults scenario (compile_faults scenario d) in
+  let config =
+    match sustain with
+    | None -> Monitor.default_config
+    | Some _ -> { Monitor.default_config with Monitor.sustain }
+  in
+  let monitor = Monitor.attach ~config ~faults scenario in
+  let host name = Scenario.host scenario name in
+  List.iter
+    (fun ev ->
+      Traffic.at scenario (Desc.event_time ev) (fun () ->
+          match ev with
+          | Desc.Join { host = h; group; _ } ->
+            Host_stack.subscribe (host h) (Desc.group_addr group)
+          | Desc.Leave { host = h; group; _ } ->
+            Host_stack.unsubscribe (host h) (Desc.group_addr group)
+          | Desc.Move { host = h; link; _ } ->
+            Host_stack.move_to (host h) (Scenario.link scenario link)))
+    d.Desc.d_events;
+  let tr = d.Desc.d_traffic in
+  List.iter
+    (fun (sender, group) ->
+      ignore
+        (Traffic.cbr scenario (host sender) ~group:(Desc.group_addr group)
+           ~from_t:tr.Desc.tr_from ~until:tr.Desc.tr_until ~interval:tr.Desc.tr_interval
+           ~bytes:tr.Desc.tr_bytes))
+    d.Desc.d_senders;
+  Scenario.run_until scenario d.Desc.d_duration;
+  Monitor.detach monitor;
+  let groups = List.map Desc.group_addr (groups_of d) in
+  let sum f =
+    List.fold_left
+      (fun acc (_, h) ->
+        List.fold_left (fun acc group -> acc + f h ~group) acc groups)
+      0 scenario.Scenario.hosts
+  in
+  { out_approach = approach;
+    out_events = Engine.Sim.events_executed scenario.Scenario.sim;
+    out_wall_s = Unix.gettimeofday () -. wall0;
+    out_sent =
+      List.fold_left
+        (fun acc (sender, _) -> acc + Host_stack.data_sent (host sender))
+        0
+        (List.sort_uniq compare (List.map (fun (s, _) -> (s, ())) d.Desc.d_senders));
+    out_delivered = sum Host_stack.received_count;
+    out_duplicates = sum Host_stack.duplicate_count;
+    out_samples = Monitor.samples monitor;
+    out_bound = Monitor.bound monitor;
+    out_violations = Monitor.violations monitor }
+
+let passed o = o.out_violations = []

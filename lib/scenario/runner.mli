@@ -1,0 +1,34 @@
+(** Execute a {!Desc.t} under one approach with the invariant monitor
+    attached. *)
+
+type outcome = {
+  out_approach : Mmcast.Approach.t;
+  out_events : int;  (** simulator events executed *)
+  out_wall_s : float;
+  out_sent : int;
+  out_delivered : int;  (** fresh datagrams summed over hosts and groups *)
+  out_duplicates : int;
+  out_samples : int;
+  out_bound : Engine.Time.t;  (** monitor convergence bound in force *)
+  out_violations : Check.Monitor.violation list;
+}
+
+val spec_for : Desc.t -> Mmcast.Approach.t -> Mmcast.Scenario.spec
+(** The soak-tightened protocol configuration (15 s MLD queries, 40 s
+    binding lifetime, 20 s state refresh, 30 s assert time) so the
+    monitor's convergence bound stays short, with the descriptor's seed
+    and graft knob applied. *)
+
+val groups_of : Desc.t -> int list
+(** Sorted distinct group indices referenced by senders and events. *)
+
+val run : ?sustain:Engine.Time.t -> Desc.t -> Mmcast.Approach.t -> outcome
+(** Build the network, install the fault schedule, attach the monitor
+    (with [sustain] overriding its convergence bound when given — the
+    shrinker uses a short one), schedule the churn events and senders,
+    and run to the descriptor's duration.
+    @raise Invalid_argument if {!Desc.validate} rejects the
+    descriptor. *)
+
+val passed : outcome -> bool
+(** No violations. *)

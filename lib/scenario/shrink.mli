@@ -1,0 +1,30 @@
+(** Delta-debugging shrinker for failing scenarios.
+
+    Given a descriptor whose run violates an invariant, [minimize]
+    searches for a smaller descriptor that still violates the {e same}
+    invariant: classic ddmin over the churn-event and fault-schedule
+    lists, then greedy structural shrinking — dropping unreferenced
+    hosts, redundant backbone links, and leaf routers — until a
+    fixpoint or the run budget.  Every candidate is judged by actually
+    re-running it (results memoized by {!Desc.digest}), so the minimum
+    is replayable by construction. *)
+
+type result = {
+  sh_min : Desc.t;
+  sh_runs : int;  (** oracle executions spent *)
+  sh_invariant : Check.Monitor.invariant;  (** the violation preserved *)
+  sh_approach : Mmcast.Approach.t;
+}
+
+val minimize :
+  ?budget:int ->
+  ?sustain:Engine.Time.t ->
+  Desc.t ->
+  Mmcast.Approach.t ->
+  result option
+(** [None] when the descriptor does not violate anything to begin
+    with.  [budget] caps oracle runs (default 150); on exhaustion the
+    smallest reproduction found so far is returned.  [sustain]
+    (default 10 s) overrides the monitor's convergence bound so each
+    oracle run stays cheap; it is the same override a replay must use
+    ({!Repro}). *)

@@ -1,0 +1,116 @@
+module Json = Obs.Json
+module Approach = Mmcast.Approach
+
+type cell = { c_model : Gen.model; c_routers : int; c_seed : int }
+
+type row = {
+  r_cell : cell;
+  r_name : string;
+  r_digest : string;
+  r_size : string;
+  r_outcomes : Runner.outcome list;
+}
+
+let cells ?(sizes = [ 25; 50; 100 ]) ?(models = [ `Waxman; `Pref ]) ?(seeds = 1)
+    ~base_seed () =
+  List.concat_map
+    (fun c_routers ->
+      List.concat_map
+        (fun c_model ->
+          List.init seeds (fun i -> { c_model; c_routers; c_seed = base_seed + i }))
+        models)
+    sizes
+
+let desc_of cell =
+  Gen.scenario ~model:cell.c_model ~routers:cell.c_routers ~seed:cell.c_seed ()
+
+let run ?(jobs = 1) cells =
+  let tasks =
+    List.concat_map (fun cell -> List.map (fun a -> (cell, a)) Approach.all) cells
+  in
+  let outcomes =
+    Parallel.map ~jobs
+      (fun (cell, approach) -> Runner.run (desc_of cell) approach)
+      tasks
+  in
+  (* Regroup the flat, input-ordered results into one row of four
+     outcomes per cell. *)
+  let rec rows cells outcomes =
+    match cells with
+    | [] -> []
+    | cell :: rest ->
+      let rec take n xs acc =
+        if n = 0 then (List.rev acc, xs)
+        else match xs with [] -> (List.rev acc, []) | x :: tl -> take (n - 1) tl (x :: acc)
+      in
+      let mine, others = take (List.length Approach.all) outcomes [] in
+      let desc = desc_of cell in
+      { r_cell = cell;
+        r_name = desc.Desc.d_name;
+        r_digest = Desc.digest desc;
+        r_size = Desc.size_summary desc;
+        r_outcomes = mine }
+      :: rows rest others
+  in
+  rows cells outcomes
+
+let violation_total rows =
+  List.fold_left
+    (fun acc row ->
+      List.fold_left
+        (fun acc o -> acc + List.length o.Runner.out_violations)
+        acc row.r_outcomes)
+    0 rows
+
+let pass rows = violation_total rows = 0
+
+let outcome_json (o : Runner.outcome) =
+  let events_per_s = if o.Runner.out_wall_s > 0.0 then float_of_int o.Runner.out_events /. o.Runner.out_wall_s else 0.0 in
+  Json.Obj
+    [ ("approach", Json.Int (Approach.number o.Runner.out_approach));
+      ("events", Json.Int o.Runner.out_events);
+      ("wall_s", Json.float o.Runner.out_wall_s);
+      ("events_per_s", Json.float events_per_s);
+      ("sent", Json.Int o.Runner.out_sent);
+      ("delivered", Json.Int o.Runner.out_delivered);
+      ("duplicates", Json.Int o.Runner.out_duplicates);
+      ("monitor_samples", Json.Int o.Runner.out_samples);
+      ("bound_s", Json.float o.Runner.out_bound);
+      ("violations", Json.Int (List.length o.Runner.out_violations));
+      ( "violation_invariants",
+        Json.strings
+          (List.map
+             (fun v -> Check.Monitor.invariant_name v.Check.Monitor.v_invariant)
+             o.Runner.out_violations) ) ]
+
+let to_json rows =
+  Json.Obj
+    [ ("schema", Json.String "mmcast-scale/1");
+      ("violations_total", Json.Int (violation_total rows));
+      ( "rows",
+        Json.List
+          (List.map
+             (fun row ->
+               Json.Obj
+                 [ ("scenario", Json.String row.r_name);
+                   ("model", Json.String (Gen.model_name row.r_cell.c_model));
+                   ("routers", Json.Int row.r_cell.c_routers);
+                   ("seed", Json.Int row.r_cell.c_seed);
+                   ("size", Json.String row.r_size);
+                   ("digest", Json.String row.r_digest);
+                   ("outcomes", Json.List (List.map outcome_json row.r_outcomes)) ])
+             rows) ) ]
+
+let pp_table ppf rows =
+  Format.fprintf ppf "%-22s %-16s %9s %9s %6s@." "scenario" "size" "events" "ev/s" "viol";
+  List.iter
+    (fun row ->
+      let events = List.fold_left (fun a o -> a + o.Runner.out_events) 0 row.r_outcomes in
+      let wall = List.fold_left (fun a o -> a +. o.Runner.out_wall_s) 0.0 row.r_outcomes in
+      let viols =
+        List.fold_left (fun a o -> a + List.length o.Runner.out_violations) 0 row.r_outcomes
+      in
+      Format.fprintf ppf "%-22s %-16s %9d %9.0f %6d@." row.r_name row.r_size events
+        (if wall > 0.0 then float_of_int events /. wall else 0.0)
+        viols)
+    rows

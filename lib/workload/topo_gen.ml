@@ -50,3 +50,142 @@ let random_tree ?seed ?spec ~routers ~hosts () = build ?seed ?spec ~routers ~cro
 
 let random_mesh ?seed ?spec ~routers ~extra_links ~hosts () =
   build ?seed ?spec ~routers ~cross:extra_links ~hosts ()
+
+(* ---- pure router-graph generators ---- *)
+
+let dedup_edges edges =
+  let norm (a, b) = if a < b then (a, b) else (b, a) in
+  List.sort_uniq compare (List.map norm edges)
+
+(* Union-find over router indices; used to patch Waxman graphs up to
+   connectivity deterministically. *)
+let uf_root parent i =
+  let rec go i = if parent.(i) = i then i else go parent.(i) in
+  go i
+
+let uf_union parent a b =
+  let ra = uf_root parent a and rb = uf_root parent b in
+  if ra <> rb then parent.(Stdlib.max ra rb) <- Stdlib.min ra rb
+
+let waxman_edges ?(alpha = 0.4) ?(beta = 0.4) ~seed ~routers () =
+  if routers < 1 then invalid_arg "Topo_gen.waxman_edges: need at least one router";
+  if alpha < 0.0 || alpha > 1.0 then invalid_arg "Topo_gen.waxman_edges: alpha outside [0,1]";
+  if beta <= 0.0 then invalid_arg "Topo_gen.waxman_edges: beta must be positive";
+  let rng = Engine.Rng.create (0x3a11 lxor seed) in
+  (* Router positions in the unit square; drawn in index order with
+     explicit lets so the stream consumption is evaluation-order
+     independent. *)
+  let pos =
+    Array.init routers (fun _ ->
+        let x = Engine.Rng.float rng 1.0 in
+        let y = Engine.Rng.float rng 1.0 in
+        (x, y))
+  in
+  let dist i j =
+    let xi, yi = pos.(i) and xj, yj = pos.(j) in
+    Float.hypot (xi -. xj) (yi -. yj)
+  in
+  let scale = Float.sqrt 2.0 *. beta in
+  let edges = ref [] in
+  for i = 0 to routers - 1 do
+    for j = i + 1 to routers - 1 do
+      let p = alpha *. Float.exp (-.dist i j /. scale) in
+      if Engine.Rng.float rng 1.0 < p then edges := (i, j) :: !edges
+    done
+  done;
+  (* Patch up connectivity: walk routers in index order and tie every
+     node in a fresh component to its nearest already-connected
+     predecessor — the edge a Waxman process would most likely have
+     drawn anyway. *)
+  let parent = Array.init routers (fun i -> i) in
+  List.iter (fun (a, b) -> uf_union parent a b) !edges;
+  for i = 1 to routers - 1 do
+    if uf_root parent i <> uf_root parent 0 then begin
+      let best = ref 0 in
+      for j = 1 to i - 1 do
+        if uf_root parent j = uf_root parent 0 && dist i j < dist i !best then best := j
+      done;
+      edges := (!best, i) :: !edges;
+      uf_union parent !best i
+    end
+  done;
+  dedup_edges !edges
+
+let pref_attach_edges ?(m = 2) ~seed ~routers () =
+  if routers < 1 then invalid_arg "Topo_gen.pref_attach_edges: need at least one router";
+  if m < 1 then invalid_arg "Topo_gen.pref_attach_edges: m must be at least 1";
+  let rng = Engine.Rng.create (0xba11 lxor seed) in
+  let degree = Array.make routers 0 in
+  let edges = ref [] in
+  for i = 1 to routers - 1 do
+    let targets = Stdlib.min m i in
+    let chosen = ref [] in
+    while List.length !chosen < targets do
+      (* Linear preferential attachment with +1 smoothing so isolated
+         early nodes stay reachable as targets. *)
+      let total = ref 0 in
+      for j = 0 to i - 1 do
+        if not (List.mem j !chosen) then total := !total + degree.(j) + 1
+      done;
+      let pick = Engine.Rng.int rng !total in
+      let acc = ref 0 and hit = ref (-1) in
+      for j = 0 to i - 1 do
+        if !hit < 0 && not (List.mem j !chosen) then begin
+          acc := !acc + degree.(j) + 1;
+          if pick < !acc then hit := j
+        end
+      done;
+      chosen := !hit :: !chosen
+    done;
+    List.iter
+      (fun j ->
+        edges := (j, i) :: !edges;
+        degree.(j) <- degree.(j) + 1;
+        degree.(i) <- degree.(i) + 1)
+      (List.rev !chosen)
+  done;
+  dedup_edges !edges
+
+(* ---- scenario wrappers over explicit edge lists ---- *)
+
+let build_from_edges ?(seed = 7) ?(spec = Scenario.default_spec) ~edges ~routers ~hosts () =
+  if routers < 1 then invalid_arg "Topo_gen: need at least one router";
+  if hosts < 0 then invalid_arg "Topo_gen: negative host count";
+  List.iter
+    (fun (a, b) ->
+      if a < 0 || b < 0 || a >= routers || b >= routers || a = b then
+        invalid_arg "Topo_gen: edge endpoint out of range")
+    edges;
+  let rng = Engine.Rng.create seed in
+  let stub i = Printf.sprintf "S%d" i in
+  let backbone i = Printf.sprintf "B%d" i in
+  let links =
+    List.init routers (fun i -> (stub i, stub_prefix i))
+    @ List.mapi (fun i _ -> (backbone i, backbone_prefix i)) edges
+  in
+  let attachments = Array.make routers [] in
+  for i = 0 to routers - 1 do
+    attachments.(i) <- [ stub i ]
+  done;
+  List.iteri
+    (fun i (a, b) ->
+      attachments.(a) <- backbone i :: attachments.(a);
+      attachments.(b) <- backbone i :: attachments.(b))
+    edges;
+  let router_specs =
+    List.init routers (fun i ->
+        (Printf.sprintf "N%d" i, List.rev attachments.(i), [ stub i ]))
+  in
+  let host_specs =
+    List.init hosts (fun h ->
+        (Printf.sprintf "H%d" h, stub (Engine.Rng.int rng routers)))
+  in
+  Scenario.build spec ~links ~routers:router_specs ~hosts:host_specs
+
+let random_waxman ?(seed = 7) ?spec ?alpha ?beta ~routers ~hosts () =
+  let edges = waxman_edges ?alpha ?beta ~seed ~routers () in
+  build_from_edges ~seed ?spec ~edges ~routers ~hosts ()
+
+let random_pref ?(seed = 7) ?spec ?m ~routers ~hosts () =
+  let edges = pref_attach_edges ?m ~seed ~routers () in
+  build_from_edges ~seed ?spec ~edges ~routers ~hosts ()

@@ -27,3 +27,64 @@ val random_mesh :
 (** Like {!random_tree} but with [extra_links] additional cross links,
     each joining two distinct random routers — redundancy that
     exercises the Assert election. *)
+
+(** {2 Router-graph generators}
+
+    Pure, seed-deterministic edge lists over router indices
+    [0..routers-1]; the scenario-scale subsystem layers LANs, hosts and
+    churn on top of them.  Both generators guarantee a connected
+    graph. *)
+
+val waxman_edges :
+  ?alpha:float -> ?beta:float -> seed:int -> routers:int -> unit -> (int * int) list
+(** Waxman random graph: routers at uniform positions in the unit
+    square, an edge between [u] and [v] with probability
+    [alpha * exp (-d(u,v) / (beta * sqrt 2))].  [alpha] (default 0.4)
+    scales overall edge density, [beta] (default 0.4) the reach of long
+    edges.  Any disconnected component is tied to the main component
+    through its nearest predecessor, so the result is always connected.
+    Edges are returned sorted with [fst < snd], no duplicates.
+    @raise Invalid_argument if [routers < 1], [alpha] outside [0,1] or
+    [beta <= 0]. *)
+
+val pref_attach_edges :
+  ?m:int -> seed:int -> routers:int -> unit -> (int * int) list
+(** Barabási–Albert preferential attachment: router [i] joins [min m i]
+    distinct earlier routers chosen proportionally to degree + 1
+    ([m] defaults to 2).  Connected by construction; hub-heavy degree
+    distributions stress the Assert election and the forwarding fan-out.
+    @raise Invalid_argument if [routers < 1] or [m < 1]. *)
+
+val build_from_edges :
+  ?seed:int ->
+  ?spec:Mmcast.Scenario.spec ->
+  edges:(int * int) list ->
+  routers:int ->
+  hosts:int ->
+  unit ->
+  Mmcast.Scenario.t
+(** Materialize an explicit router graph: one stub LAN ["S<i>"] per
+    router ["N<i>"] (its home-agent link), one backbone link ["B<k>"]
+    per edge, hosts ["H<j>"] homed on uniformly chosen stubs.
+    @raise Invalid_argument on an out-of-range or self-loop edge. *)
+
+val random_waxman :
+  ?seed:int ->
+  ?spec:Mmcast.Scenario.spec ->
+  ?alpha:float ->
+  ?beta:float ->
+  routers:int ->
+  hosts:int ->
+  unit ->
+  Mmcast.Scenario.t
+(** {!waxman_edges} materialized through {!build_from_edges}. *)
+
+val random_pref :
+  ?seed:int ->
+  ?spec:Mmcast.Scenario.spec ->
+  ?m:int ->
+  routers:int ->
+  hosts:int ->
+  unit ->
+  Mmcast.Scenario.t
+(** {!pref_attach_edges} materialized through {!build_from_edges}. *)

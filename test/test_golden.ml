@@ -1,0 +1,81 @@
+(* Golden-trace regression tests.
+
+   One canonical run per approach on the paper's Figure 1 network:
+   receivers subscribe at t=5, S streams CBR from t=30 to t=110, R3
+   moves from Link 4 to Link 6 at t=60, and the run ends at t=120.
+   The full event trace is digested ({!Engine.Trace.digest}) and
+   pinned here, so any change to protocol behaviour — message order,
+   timer schedule, forwarding decisions — fails loudly and has to be
+   re-pinned deliberately.
+
+   When a pin goes stale the failure message prints the new digest;
+   update the table below only after confirming the behaviour change
+   is intended. *)
+
+open Mmcast
+
+let golden =
+  [ (Approach.local_membership, "7ecebb7af20ac591bd4fce9737f021ef");
+    (Approach.bidirectional_tunnel, "1dc33aa5ad971910262a4c856ac0cb01");
+    (Approach.tunnel_to_home_agent, "31c85789d8f678f4be952e82187b903d");
+    (Approach.tunnel_from_home_agent, "bb3a07d1e1630a6aa01b2ff078763103") ]
+
+let canonical_run approach =
+  let spec = { Scenario.default_spec with Scenario.approach } in
+  let scenario = Scenario.paper_figure1 spec in
+  let sim = scenario.Scenario.sim in
+  ignore
+    (Engine.Sim.schedule_at sim 5.0 (fun () ->
+         Scenario.subscribe_receivers scenario Scenario.group));
+  let s = Scenario.host scenario "S" in
+  let rec tick () =
+    if Engine.Time.compare (Engine.Sim.now sim) 110.0 < 0 then begin
+      Host_stack.send_data s ~group:Scenario.group ~bytes:500;
+      ignore (Engine.Sim.schedule_after sim 0.5 tick)
+    end
+  in
+  ignore (Engine.Sim.schedule_at sim 30.0 tick);
+  let r3 = Scenario.host scenario "R3" in
+  ignore
+    (Engine.Sim.schedule_at sim 60.0 (fun () ->
+         Host_stack.move_to r3 (Scenario.link scenario "L6")));
+  (* R3 also sources a short burst from the foreign link, so the send
+     path (local vs reverse-tunnel) shows up in the trace and the four
+     approaches digest pairwise distinct. *)
+  let rec r3_tick () =
+    if Engine.Time.compare (Engine.Sim.now sim) 90.0 < 0 then begin
+      Host_stack.send_data r3 ~group:Scenario.group ~bytes:200;
+      ignore (Engine.Sim.schedule_after sim 2.0 r3_tick)
+    end
+  in
+  ignore (Engine.Sim.schedule_at sim 70.0 r3_tick);
+  Scenario.run_until scenario 120.0;
+  let trace = Net.Network.trace scenario.Scenario.net in
+  (Engine.Trace.digest trace, Engine.Trace.count trace)
+
+let golden_tests =
+  List.map
+    (fun (approach, expected) ->
+      Alcotest.test_case (Approach.name approach) `Quick (fun () ->
+          let actual, events = canonical_run approach in
+          if not (String.equal actual expected) then
+            Alcotest.failf
+              "trace digest for %s drifted:@ pinned %s@ actual %s (%d records).@ If \
+               the behaviour change is intended, re-pin the digest in \
+               test_golden.ml."
+              (Approach.name approach) expected actual events))
+    golden
+
+let stability_tests =
+  [ Alcotest.test_case "same approach twice gives the same digest" `Quick (fun () ->
+        let a, _ = canonical_run Approach.local_membership in
+        let b, _ = canonical_run Approach.local_membership in
+        Alcotest.(check string) "deterministic" a b);
+    Alcotest.test_case "approaches are pairwise distinct" `Quick (fun () ->
+        let pinned = List.map snd golden in
+        Alcotest.(check int) "four distinct traces" 4
+          (List.length (List.sort_uniq String.compare pinned))) ]
+
+let () =
+  Alcotest.run "golden"
+    [ ("figure1 trace digests", golden_tests); ("stability", stability_tests) ]

@@ -1,0 +1,219 @@
+(* Tests for the scenario-scale subsystem: generator properties
+   (connectivity, determinism, parallel-oversubscription equality),
+   descriptor JSON round-trips, and the failing-scenario shrinker. *)
+
+module Desc = Scale.Desc
+module Gen = Scale.Gen
+module Runner = Scale.Runner
+module Suite = Scale.Suite
+module Shrink = Scale.Shrink
+module Repro = Scale.Repro
+
+(* ---- generator properties (qcheck) ---- *)
+
+let gen_params =
+  QCheck.make
+    ~print:(fun (model, routers, seed) ->
+      Printf.sprintf "%s routers=%d seed=%d" (Gen.model_name model) routers seed)
+    QCheck.Gen.(
+      triple
+        (map (fun b -> if b then `Waxman else `Pref) bool)
+        (int_range 2 40) (int_range 0 9999))
+
+let connected_property =
+  QCheck.Test.make ~count:40 ~name:"every generated scenario is connected and valid"
+    gen_params
+    (fun (model, routers, seed) ->
+      let d = Gen.scenario ~model ~routers ~seed () in
+      (match Desc.validate d with
+       | Ok () -> ()
+       | Error e -> QCheck.Test.fail_reportf "validate: %s" e);
+      Desc.connected d)
+
+let graph_connected_property =
+  QCheck.Test.make ~count:40
+    ~name:"generator edge lists materialize into connected Net topologies"
+    gen_params
+    (fun (model, routers, seed) ->
+      let scenario =
+        match model with
+        | `Waxman -> Workload.Topo_gen.random_waxman ~seed ~routers ~hosts:2 ()
+        | `Pref -> Workload.Topo_gen.random_pref ~seed ~routers ~hosts:2 ()
+      in
+      Net.Topology.is_connected (Net.Network.topology scenario.Mmcast.Scenario.net))
+
+let deterministic_property =
+  QCheck.Test.make ~count:25 ~name:"generation is a pure function of (model, size, seed)"
+    gen_params
+    (fun (model, routers, seed) ->
+      let a = Gen.scenario ~model ~routers ~seed () in
+      let b = Gen.scenario ~model ~routers ~seed () in
+      a = b && String.equal (Desc.digest a) (Desc.digest b))
+
+let distinct_seeds_property =
+  QCheck.Test.make ~count:25 ~name:"different seeds give different scenarios"
+    (QCheck.make ~print:string_of_int QCheck.Gen.(int_range 0 9999))
+    (fun seed ->
+      let a = Gen.scenario ~routers:12 ~seed () in
+      let b = Gen.scenario ~routers:12 ~seed:(seed + 1) () in
+      not (String.equal (Desc.digest a) (Desc.digest b)))
+
+let json_roundtrip_property =
+  QCheck.Test.make ~count:40 ~name:"descriptor JSON round-trips field-for-field"
+    gen_params
+    (fun (model, routers, seed) ->
+      let d = Gen.scenario ~model ~routers ~seed () in
+      match Desc.of_json (Desc.to_json d) with
+      | Ok d' -> d = d'
+      | Error e -> QCheck.Test.fail_reportf "of_json: %s" e)
+
+let generator_properties =
+  List.map QCheck_alcotest.to_alcotest
+    [ connected_property; graph_connected_property; deterministic_property;
+      distinct_seeds_property; json_roundtrip_property ]
+
+(* ---- descriptor unit tests ---- *)
+
+let sample () = Gen.scenario ~routers:8 ~seed:3 ()
+
+let desc_tests =
+  [ Alcotest.test_case "validate rejects unknown host in event" `Quick (fun () ->
+        let d = sample () in
+        let d =
+          { d with Desc.d_events = [ Desc.Join { at = 10.0; host = "nope"; group = 0 } ] }
+        in
+        match Desc.validate d with
+        | Error _ -> ()
+        | Ok () -> Alcotest.fail "expected rejection");
+    Alcotest.test_case "validate rejects event after the run ends" `Quick (fun () ->
+        let d = sample () in
+        let d =
+          { d with
+            Desc.d_events =
+              [ Desc.Join { at = d.Desc.d_duration +. 1.0; host = "H1"; group = 0 } ]
+          }
+        in
+        match Desc.validate d with
+        | Error _ -> ()
+        | Ok () -> Alcotest.fail "expected rejection");
+    Alcotest.test_case "validate rejects loss rate above one" `Quick (fun () ->
+        let d = sample () in
+        let link = fst (List.hd d.Desc.d_links) in
+        let d =
+          { d with
+            Desc.d_faults = [ Desc.Loss { link; rate = 1.5; from_t = 1.0; until = 2.0 } ]
+          }
+        in
+        match Desc.validate d with
+        | Error _ -> ()
+        | Ok () -> Alcotest.fail "expected rejection");
+    Alcotest.test_case "disconnection is detected" `Quick (fun () ->
+        let d = sample () in
+        let backbones = Desc.backbone_links d in
+        Alcotest.(check bool) "generated is connected" true (Desc.connected d);
+        (* Amputating every backbone link must disconnect an 8-router
+           descriptor. *)
+        let d' =
+          List.fold_left
+            (fun d l ->
+              { d with
+                Desc.d_links = List.remove_assoc l d.Desc.d_links;
+                d_routers =
+                  List.map
+                    (fun (r, att, ha) ->
+                      (r, List.filter (fun x -> not (String.equal x l)) att, ha))
+                    d.Desc.d_routers })
+            d backbones
+        in
+        Alcotest.(check bool) "amputated is disconnected" false (Desc.connected d'));
+    Alcotest.test_case "digest is canonical and content-sensitive" `Quick (fun () ->
+        let d = sample () in
+        Alcotest.(check string) "stable" (Desc.digest d) (Desc.digest d);
+        let d' = { d with Desc.d_seed = d.Desc.d_seed + 1 } in
+        Alcotest.(check bool) "seed changes digest" false
+          (String.equal (Desc.digest d) (Desc.digest d'))) ]
+
+(* ---- suite: oversubscription equality ---- *)
+
+let strip_wall (o : Runner.outcome) = { o with Runner.out_wall_s = 0.0 }
+
+let strip_row (r : Suite.row) =
+  { r with Suite.r_outcomes = List.map strip_wall r.Suite.r_outcomes }
+
+let suite_tests =
+  [ Alcotest.test_case "suite rows identical sequential vs oversubscribed" `Slow
+      (fun () ->
+        let cells = Suite.cells ~sizes:[ 12 ] ~seeds:1 ~base_seed:7 () in
+        let sequential = List.map strip_row (Suite.run ~jobs:1 cells) in
+        (* 13 workers for 8 tasks: heavier oversubscription than any
+           sane CLI invocation. *)
+        let oversubscribed = List.map strip_row (Suite.run ~jobs:13 cells) in
+        Alcotest.(check bool) "rows equal" true (sequential = oversubscribed);
+        Alcotest.(check int) "zero violations" 0 (Suite.violation_total sequential)) ]
+
+(* ---- shrinker ---- *)
+
+let shrink_tests =
+  [ Alcotest.test_case "broken variant shrinks to a minimal repro that replays" `Slow
+      (fun () ->
+        let broken = Gen.broken ~seed:42 () in
+        let approach = Mmcast.Approach.local_membership in
+        match Shrink.minimize ~sustain:10.0 broken approach with
+        | None -> Alcotest.fail "broken variant did not violate"
+        | Some r ->
+          let m = r.Shrink.sh_min in
+          (* The known bound for this seeded bug: one join event, no
+             faults, and no more topology than the sender-to-receiver
+             path. *)
+          Alcotest.(check bool) "at most 1 event" true (List.length m.Desc.d_events <= 1);
+          Alcotest.(check int) "no faults" 0 (List.length m.Desc.d_faults);
+          Alcotest.(check bool) "at most 3 routers" true
+            (List.length m.Desc.d_routers <= 3);
+          Alcotest.(check bool) "smaller than the input" true
+            (List.length m.Desc.d_events + List.length m.Desc.d_faults
+             + List.length m.Desc.d_routers
+            < List.length broken.Desc.d_events + List.length broken.Desc.d_faults
+              + List.length broken.Desc.d_routers);
+          (* Re-running the minimum must still violate the same
+             invariant. *)
+          let repro = Repro.of_shrink r ~sustain:10.0 in
+          Alcotest.(check bool) "minimum replays its violation" true
+            (Repro.replay repro <> []));
+    Alcotest.test_case "healthy scenario yields no shrink result" `Slow (fun () ->
+        let d = Gen.scenario ~routers:6 ~seed:5 () in
+        match Shrink.minimize ~budget:10 ~sustain:10.0 d Mmcast.Approach.local_membership with
+        | None -> ()
+        | Some _ -> Alcotest.fail "healthy scenario reported a violation") ]
+
+(* ---- repro bundle round-trip ---- *)
+
+let repro_tests =
+  [ Alcotest.test_case "repro bundle writes, loads and replays" `Slow (fun () ->
+        let broken = Gen.broken ~seed:42 () in
+        let approach = Mmcast.Approach.local_membership in
+        match Shrink.minimize ~sustain:10.0 broken approach with
+        | None -> Alcotest.fail "broken variant did not violate"
+        | Some r ->
+          let repro = Repro.of_shrink r ~sustain:10.0 in
+          let dir =
+            Filename.concat (Filename.get_temp_dir_name ())
+              (Printf.sprintf "mmcast_repro_%d" (Unix.getpid ()))
+          in
+          let path = Repro.write repro ~dir in
+          (match Repro.load path with
+           | Error e -> Alcotest.fail ("load: " ^ e)
+           | Ok loaded ->
+             Alcotest.(check string) "descriptor survives the disk round-trip"
+               (Desc.digest repro.Repro.rp_desc)
+               (Desc.digest loaded.Repro.rp_desc);
+             Alcotest.(check bool) "loaded bundle replays" true
+               (Repro.replay loaded <> []));
+          Sys.remove path) ]
+
+let () =
+  Alcotest.run "scale"
+    [ ("generator properties", generator_properties);
+      ("descriptor", desc_tests);
+      ("suite", suite_tests);
+      ("shrink", shrink_tests);
+      ("repro", repro_tests) ]
