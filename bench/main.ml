@@ -771,12 +771,127 @@ let time_wall f =
   let r = f () in
   (r, Unix.gettimeofday () -. t0)
 
+(* Fixed integer/float spin whose ns cost tracks single-core speed.
+   Every throughput number in the report is paired with this
+   calibration, so two runs from different machines compare through
+   [events_per_s * calib_ns] — a machine-neutral product — instead of
+   raw events/s.  bench/check_perf.py relies on this. *)
+let calibrate_ns () =
+  let x = ref 0x2545F4914F6CDD1D in
+  let acc = ref 0.0 in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to 20_000_000 do
+    x := !x lxor (!x lsl 13);
+    x := !x lxor (!x lsr 7);
+    x := !x lxor (!x lsl 17);
+    acc := !acc +. float_of_int (!x land 0xff)
+  done;
+  let dt = Unix.gettimeofday () -. t0 in
+  ignore (Sys.opaque_identity !acc);
+  dt *. 1e9
+
+(* The full-scenario perf workload: the figure-1 network under
+   approach 3, a 100 Hz CBR stream from t=10 to t=seconds-10, and R3
+   ping-ponging between L4 and L6 every 30 s — enough traffic that the
+   run is dominated by the transmit/deliver path, with enough mobility
+   to keep tunnels and prune state churning.  Returns
+   (events, wall_s, allocated_bytes, minor_collections). *)
+let perf_scenario ~wire ~capture ~seconds () =
+  let spec =
+    { Scenario.default_spec with
+      Scenario.approach = Approach.tunnel_to_home_agent }
+  in
+  let scenario = Scenario.paper_figure1 spec in
+  let sim = scenario.Scenario.sim in
+  let net = scenario.Scenario.net in
+  if wire then Net.Network.set_wire_check net true;
+  let cap = if capture then Some (Obs.Capture.attach net) else None in
+  ignore
+    (Engine.Sim.schedule_at sim 5.0 (fun () ->
+         Scenario.subscribe_receivers scenario group));
+  let s = Scenario.host scenario "S" in
+  let stop_t = seconds -. 10.0 in
+  let rec tick () =
+    if Engine.Time.compare (Engine.Sim.now sim) stop_t < 0 then begin
+      Host_stack.send_data s ~group ~bytes:500;
+      ignore (Engine.Sim.schedule_after sim 0.01 tick)
+    end
+  in
+  ignore (Engine.Sim.schedule_at sim 10.0 tick);
+  let r3 = Scenario.host scenario "R3" in
+  let rec hop to_l6 () =
+    Host_stack.move_to r3 (Scenario.link scenario (if to_l6 then "L6" else "L4"));
+    if Engine.Time.compare (Engine.Sim.now sim) (seconds -. 30.0) < 0 then
+      ignore (Engine.Sim.schedule_after sim 30.0 (hop (not to_l6)))
+  in
+  ignore (Engine.Sim.schedule_at sim 45.0 (hop true));
+  let minor0 = (Gc.quick_stat ()).Gc.minor_collections in
+  let alloc0 = Gc.allocated_bytes () in
+  let (), wall = time_wall (fun () -> Scenario.run_until scenario seconds) in
+  let alloc = Gc.allocated_bytes () -. alloc0 in
+  let minor = (Gc.quick_stat ()).Gc.minor_collections - minor0 in
+  (match cap with Some c -> ignore (Obs.Capture.frames c) | None -> ());
+  (Engine.Sim.events_executed sim, wall, alloc, minor)
+
+type perf_row = {
+  pr_name : string;
+  pr_events : int;
+  pr_wall_s : float;
+  pr_events_per_s : float;
+  pr_alloc_per_sim_s : float;
+  pr_minor_per_sim_s : float;
+}
+
+(* Best-of-N wall clock (events and allocation are deterministic across
+   repeats — only the wall time is noisy). *)
+let perf_scenario_row name ~wire ~capture ~seconds ~runs =
+  ignore (perf_scenario ~wire ~capture ~seconds:30.0 ()) (* warm-up *);
+  let best = ref infinity and events = ref 0 and alloc = ref 0.0 and minor = ref 0 in
+  for _ = 1 to runs do
+    let e, w, a, m = perf_scenario ~wire ~capture ~seconds () in
+    if w < !best then best := w;
+    events := e;
+    alloc := a;
+    minor := m
+  done;
+  { pr_name = name;
+    pr_events = !events;
+    pr_wall_s = !best;
+    pr_events_per_s = float_of_int !events /. !best;
+    pr_alloc_per_sim_s = !alloc /. seconds;
+    pr_minor_per_sim_s = float_of_int !minor /. seconds }
+
+let perf_row_json r =
+  Obs.Json.Obj
+    [ ("name", Obs.Json.String r.pr_name);
+      ("events", Obs.Json.Int r.pr_events);
+      ("wall_s", Obs.Json.float r.pr_wall_s);
+      ("events_per_s", Obs.Json.float r.pr_events_per_s);
+      ("alloc_per_sim_s", Obs.Json.float r.pr_alloc_per_sim_s);
+      ("minor_per_sim_s", Obs.Json.float r.pr_minor_per_sim_s) ]
+
+(* The pre-change baseline for the same workload (seconds=120),
+   measured on the machine that grew the copy-free wire path —
+   identified by its calibration constant.  [vs_pre_change] in the
+   report normalizes both sides through the spin, so the ratios remain
+   meaningful on other machines. *)
+let pre_change_calib_ns = 83.152e6
+
+let pre_change_rows =
+  [ ("structural", 765957.0, 734480.0);
+    ("wire_exact", 387095.0, 3702070.0) ]
+
 let perf () =
-  section "Perf: hot-path throughput + multicore sweep wall-clock (BENCH_perf.json)";
+  section "Perf: hot-path throughput, allocation rate + multicore sweep (BENCH_perf.json)";
   let jobs = !jobs_setting in
   let cores = Parallel.default_jobs () in
-  (* -- micro 1: events through the queue (push + pop, with a cancel
-        mixed in every 4th entry to exercise lazy deletion) -- *)
+  print_endline "  calibrating machine speed (fixed spin)...";
+  let calib_ns = calibrate_ns () in
+  Printf.printf "  %-44s %14.0f ns\n" "calibration spin (20M xorshift)" calib_ns;
+  (* -- micro 1: events through the scheduler (push + pop, with a
+        cancel mixed in every 4th entry to exercise lazy deletion) —
+        once through the legacy binary heap, once through the timer
+        wheel the simulator now uses -- *)
   let queue_events = 1024 in
   let queue_batch () =
     let q = Engine.Event_queue.create () in
@@ -791,48 +906,143 @@ let perf () =
     in
     drain ()
   in
+  let wheel_batch () =
+    let q = Engine.Wheel.create () in
+    for i = 0 to queue_events - 1 do
+      let h = Engine.Wheel.push q (float_of_int (i land 63)) i in
+      if i land 3 = 0 then Engine.Wheel.cancel q h
+    done;
+    let rec drain () =
+      match Engine.Wheel.pop q with
+      | Some _ -> drain ()
+      | None -> ()
+    in
+    drain ()
+  in
   (* -- micro 2: packets through Network.transmit on a pristine
-        multi-access link (1 sender, 3 listeners, no faults) -- *)
+        multi-access link (1 sender, 3 listeners, no faults),
+        structurally and in wire-check mode (where the interned frame
+        shares one encode + one decode across the fan-out) -- *)
   let transmit_packets = 64 in
-  let sim = Engine.Sim.create () in
-  let topo = Net.Topology.create () in
-  let link =
-    Net.Topology.add_link topo ~name:"L"
-      ~prefix:(Ipv6.Prefix.of_string "2001:db8:99::/64") ()
+  let make_transmit_net ~wire =
+    let sim = Engine.Sim.create () in
+    let topo = Net.Topology.create () in
+    let link =
+      Net.Topology.add_link topo ~name:"L"
+        ~prefix:(Ipv6.Prefix.of_string "2001:db8:99::/64") ()
+    in
+    let sender = Net.Topology.add_node topo ~name:"S" ~kind:Net.Topology.Host in
+    let receivers =
+      List.map
+        (fun name -> Net.Topology.add_node topo ~name ~kind:Net.Topology.Host)
+        [ "R1"; "R2"; "R3" ]
+    in
+    List.iter (fun n -> Net.Topology.attach topo n link) (sender :: receivers);
+    let net = Net.Network.create sim topo in
+    if wire then Net.Network.set_wire_check net true;
+    List.iter
+      (fun n -> Net.Network.set_handler net n (fun ~link:_ ~from:_ _ -> ()))
+      receivers;
+    (sim, net, sender, link)
   in
-  let sender = Net.Topology.add_node topo ~name:"S" ~kind:Net.Topology.Host in
-  let receivers =
-    List.map
-      (fun name -> Net.Topology.add_node topo ~name ~kind:Net.Topology.Host)
-      [ "R1"; "R2"; "R3" ]
-  in
-  List.iter (fun n -> Net.Topology.attach topo n link) (sender :: receivers);
-  let net = Net.Network.create sim topo in
-  List.iter
-    (fun n -> Net.Network.set_handler net n (fun ~link:_ ~from:_ _ -> ()))
-    receivers;
   let packet =
     Ipv6.Packet.make
       ~src:(Ipv6.Addr.of_string "2001:db8:99::1")
       ~dst:(Ipv6.Addr.of_string "ff0e::1:1")
       (Ipv6.Packet.Data { stream_id = 1; seq = 0; bytes = 500 })
   in
-  let transmit_batch () =
+  let transmit_batch_on (sim, net, sender, link) () =
     for _ = 1 to transmit_packets do
       Net.Network.transmit net ~from:sender ~link Net.Network.To_all packet
     done;
     Engine.Sim.run sim
   in
+  let transmit_batch = transmit_batch_on (make_transmit_net ~wire:false) in
+  let transmit_wire_batch = transmit_batch_on (make_transmit_net ~wire:true) in
+  (* -- micro 3: the wire path itself — arena encode, interned-frame
+        force (first touch vs memo hit) and decode -- *)
+  let wire_bytes = Ipv6.Codec.encode packet in
+  let forced_frame = Ipv6.Codec.Frame.of_packet packet in
+  ignore (Ipv6.Codec.Frame.force forced_frame);
   print_endline "  measuring hot-path throughput (bechamel)...";
   let queue_ns = estimate_ns "event queue batch" queue_batch in
+  let wheel_ns = estimate_ns "timer wheel batch" wheel_batch in
   let transmit_ns = estimate_ns "transmit batch" transmit_batch in
+  let transmit_wire_ns = estimate_ns "transmit batch (wire-check)" transmit_wire_batch in
+  let encode_ns =
+    estimate_ns "codec encode (arena)" (fun () ->
+        ignore (Ipv6.Codec.encode packet))
+  in
+  let force_fresh_ns =
+    estimate_ns "frame intern+force" (fun () ->
+        ignore (Ipv6.Codec.Frame.force (Ipv6.Codec.Frame.of_packet packet)))
+  in
+  let force_hit_ns =
+    estimate_ns "frame force (memo hit)" (fun () ->
+        ignore (Ipv6.Codec.Frame.force forced_frame))
+  in
+  let decode_ns =
+    estimate_ns "codec decode" (fun () -> ignore (Ipv6.Codec.decode wire_bytes))
+  in
   let per_s count ns = float_of_int count /. (ns *. 1e-9) in
   let events_per_s = per_s queue_events queue_ns in
+  let wheel_events_per_s = per_s queue_events wheel_ns in
   let packets_per_s = per_s transmit_packets transmit_ns in
-  Printf.printf "  %-44s %14.0f /s\n" "event queue: events through push/cancel/pop"
-    events_per_s;
+  let wire_packets_per_s = per_s transmit_packets transmit_wire_ns in
+  Printf.printf "  %-44s %14.0f /s\n" "event queue (heap): push/cancel/pop" events_per_s;
+  Printf.printf "  %-44s %14.0f /s\n" "timer wheel: push/cancel/pop" wheel_events_per_s;
   Printf.printf "  %-44s %14.0f /s\n" "network: packets through transmit+deliver"
     packets_per_s;
+  Printf.printf "  %-44s %14.0f /s\n" "network: same, wire-check (shared frame)"
+    wire_packets_per_s;
+  Printf.printf "  %-44s %14.1f ns\n" "codec: encode via arena" encode_ns;
+  Printf.printf "  %-44s %14.1f ns\n" "frame: intern + first force" force_fresh_ns;
+  Printf.printf "  %-44s %14.1f ns\n" "frame: force memo hit" force_hit_ns;
+  Printf.printf "  %-44s %14.1f ns\n" "codec: decode" decode_ns;
+  (* -- full scenario: events/s and allocation per simulated second,
+        structurally and wire-exact (encode+decode+capture) -- *)
+  let seconds = 120.0 in
+  let runs = if !quick_setting then 2 else 3 in
+  Printf.printf "\n  full figure-1 scenario, %g simulated s (best of %d):\n" seconds
+    runs;
+  let structural =
+    perf_scenario_row "structural" ~wire:false ~capture:false ~seconds ~runs
+  in
+  let wire_exact =
+    perf_scenario_row "wire_exact" ~wire:true ~capture:true ~seconds ~runs
+  in
+  let scenario_rows = [ structural; wire_exact ] in
+  List.iter
+    (fun r ->
+      Printf.printf
+        "  %-12s %8d events  %8.4f s  %9.0f ev/s  %10.0f alloc B/sim-s  %5.2f minor/sim-s\n"
+        r.pr_name r.pr_events r.pr_wall_s r.pr_events_per_s r.pr_alloc_per_sim_s
+        r.pr_minor_per_sim_s)
+    scenario_rows;
+  (* ratios vs the recorded pre-change baseline, speed-normalized *)
+  let vs_pre_change =
+    List.filter_map
+      (fun r ->
+        match List.assoc_opt r.pr_name (List.map (fun (n, e, a) -> (n, (e, a))) pre_change_rows) with
+        | None -> None
+        | Some (base_eps, base_alloc) ->
+          let throughput_x =
+            r.pr_events_per_s *. calib_ns /. (base_eps *. pre_change_calib_ns)
+          in
+          let alloc_improvement_x =
+            if r.pr_alloc_per_sim_s > 0.0 then base_alloc /. r.pr_alloc_per_sim_s
+            else infinity
+          in
+          Printf.printf
+            "  %-12s vs pre-change: %.2fx throughput (normalized), %.2fx lower allocation\n"
+            r.pr_name throughput_x alloc_improvement_x;
+          Some
+            ( r.pr_name,
+              Obs.Json.Obj
+                [ ("throughput_x_normalized", Obs.Json.float throughput_x);
+                  ("alloc_improvement_x", Obs.Json.float alloc_improvement_x) ] ))
+      scenario_rows
+  in
   (* -- macro: Table 1 sweep, sequential vs fanned across domains -- *)
   Printf.printf "\n  Table 1 sweep wall-clock (jobs=1 vs jobs=%d, %d core%s visible):\n"
     jobs cores (if cores = 1 then "" else "s");
@@ -845,11 +1055,15 @@ let perf () =
     (Printf.sprintf "jobs=%d" jobs) t_par speedup identical;
   let doc =
     Obs.Json.Obj
-      [ ("schema", Obs.Json.String "mmcast-bench-perf/2");
+      [ ("schema", Obs.Json.String "mmcast-bench-perf/3");
         ("seed", Obs.Json.Int Scenario.default_spec.Scenario.seed);
         ("host_cores", Obs.Json.Int cores);
         ("jobs", Obs.Json.Int jobs);
         ("quick", Obs.Json.Bool !quick_setting);
+        ( "calibration",
+          Obs.Json.Obj
+            [ ("spin_iters", Obs.Json.Int 20_000_000);
+              ("ns", Obs.Json.float calib_ns) ] );
         ( "micro",
           Obs.Json.Obj
             [ ( "event_queue",
@@ -857,11 +1071,48 @@ let perf () =
                   [ ("events_per_batch", Obs.Json.Int queue_events);
                     ("ns_per_batch", Obs.Json.float queue_ns);
                     ("events_per_s", Obs.Json.float events_per_s) ] );
+              ( "timer_wheel",
+                Obs.Json.Obj
+                  [ ("events_per_batch", Obs.Json.Int queue_events);
+                    ("ns_per_batch", Obs.Json.float wheel_ns);
+                    ("events_per_s", Obs.Json.float wheel_events_per_s) ] );
               ( "transmit",
                 Obs.Json.Obj
                   [ ("packets_per_batch", Obs.Json.Int transmit_packets);
                     ("ns_per_batch", Obs.Json.float transmit_ns);
-                    ("packets_per_s", Obs.Json.float packets_per_s) ] ) ] );
+                    ("packets_per_s", Obs.Json.float packets_per_s) ] );
+              ( "transmit_wire_check",
+                Obs.Json.Obj
+                  [ ("packets_per_batch", Obs.Json.Int transmit_packets);
+                    ("ns_per_batch", Obs.Json.float transmit_wire_ns);
+                    ("packets_per_s", Obs.Json.float wire_packets_per_s) ] );
+              ( "wire_path",
+                Obs.Json.Obj
+                  [ ("encode_ns", Obs.Json.float encode_ns);
+                    ("frame_force_fresh_ns", Obs.Json.float force_fresh_ns);
+                    ("frame_force_hit_ns", Obs.Json.float force_hit_ns);
+                    ("decode_ns", Obs.Json.float decode_ns) ] ) ] );
+        ( "scenario",
+          Obs.Json.Obj
+            [ ( "workload",
+                Obs.Json.String
+                  "figure1 approach3 cbr-10ms handoff-30s (perf_scenario)" );
+              ("seconds", Obs.Json.float seconds);
+              ("runs", Obs.Json.Int runs);
+              ("rows", Obs.Json.List (List.map perf_row_json scenario_rows)) ] );
+        ( "baseline_pre_change",
+          Obs.Json.Obj
+            [ ("calib_ns", Obs.Json.float pre_change_calib_ns);
+              ( "rows",
+                Obs.Json.List
+                  (List.map
+                     (fun (n, e, a) ->
+                       Obs.Json.Obj
+                         [ ("name", Obs.Json.String n);
+                           ("events_per_s", Obs.Json.float e);
+                           ("alloc_per_sim_s", Obs.Json.float a) ])
+                     pre_change_rows) ) ] );
+        ("vs_pre_change", Obs.Json.Obj vs_pre_change);
         ( "macro",
           Obs.Json.Obj
             [ ("workload", Obs.Json.String "table1");

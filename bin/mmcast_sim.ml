@@ -31,8 +31,11 @@ let tquery_arg =
 
 let jobs_arg =
   let doc =
-    "Worker domains for sweep-shaped commands (default: all cores).  Results are \
-     byte-identical whatever $(docv) is; 1 forces the sequential path."
+    "Worker domains for sweep-shaped commands such as $(b,scale) and \
+     $(b,sweep) (default: all cores).  The scale matrix schedules its \
+     heaviest cells first, so large router counts overlap instead of \
+     trailing the batch.  Results are byte-identical whatever $(docv) \
+     is; 1 forces the sequential path."
   in
   Arg.(
     value

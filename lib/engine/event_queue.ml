@@ -98,8 +98,12 @@ let pop_entry t =
       t.len <- t.len - 1;
       if t.len > 0 then begin
         arr.(0) <- arr.(t.len);
+        (* Alias the vacated slot to a live entry so the heap array
+           never retains a fired event's payload closure. *)
+        arr.(t.len) <- arr.(0);
         sift_down arr t.len 0
-      end;
+      end
+      else t.heap <- None;
       Some top
     end
 

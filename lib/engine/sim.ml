@@ -1,4 +1,4 @@
-type handle = Event_queue.handle
+type handle = Wheel.handle
 
 type category_profile = { cat_events : int; cat_seconds : float }
 
@@ -11,7 +11,7 @@ type profiler = {
 
 type t = {
   mutable clock : Time.t;
-  queue : (unit -> unit) Event_queue.t;
+  queue : (unit -> unit) Wheel.t;
   root_rng : Rng.t;
   mutable executed : int;
   mutable profiler : profiler option;
@@ -19,7 +19,7 @@ type t = {
 
 let create ?(seed = 42) () =
   { clock = Time.zero;
-    queue = Event_queue.create ();
+    queue = Wheel.create ();
     root_rng = Rng.create seed;
     executed = 0;
     profiler = None }
@@ -66,17 +66,17 @@ let schedule_at ?(category = "other") t time f =
     invalid_arg
       (Printf.sprintf "Sim.schedule_at: %g is in the past (now %g)"
          (Time.seconds time) (Time.seconds t.clock));
-  Event_queue.push t.queue time (instrument t category f)
+  Wheel.push t.queue time (instrument t category f)
 
 let schedule_after ?category t delay f =
   schedule_at ?category t (Time.add t.clock delay) f
 
-let cancel t handle = Event_queue.cancel t.queue handle
+let cancel t handle = Wheel.cancel t.queue handle
 
-let pending t = Event_queue.size t.queue
+let pending t = Wheel.size t.queue
 
 let step t =
-  match Event_queue.pop t.queue with
+  match Wheel.pop t.queue with
   | None -> false
   | Some (time, f) ->
     t.clock <- time;
@@ -93,7 +93,7 @@ let run ?until ?max_events t =
   let rec loop () =
     if budget_exhausted () then ()
     else
-      match Event_queue.peek_time t.queue with
+      match Wheel.peek_time t.queue with
       | None -> ()
       | Some next -> (
         match until with

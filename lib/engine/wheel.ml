@@ -1,0 +1,440 @@
+(* Hierarchical timer wheel with the binary heap's exact semantics.
+
+   The protocol stack restarts timers constantly — PIM prune and state
+   refresh, MLD queries, binding lifetimes — and under the heap every
+   restart is a cancel plus an O(log n) push whose entry later bubbles
+   through pops.  Here a push is an O(1) append into the slot covering
+   its quantized deadline (plus an amortized sift within that slot),
+   a cancel is one store, and cancelled entries die in bulk when their
+   slot is scanned or cascaded instead of sifting through a big heap.
+
+   Correctness bar: pops must replay the heap's order {e exactly} —
+   strictly increasing (time, global push seq) — because golden trace
+   digests pin event order.  Three devices deliver that:
+
+   - Each slot is itself a tiny binary min-heap on (time, seq), so
+     entries that share a slot (and, at L1/L2, a coarse time range)
+     drain in true order, not insertion order.
+   - The quantum is fine (2^-10 s) relative to every protocol timer
+     and link delay, and slots are scanned in quantum order, so
+     cross-slot order equals time order; equal times always share a
+     quantum and therefore a slot, where seq decides.
+   - Deadlines beyond the outermost window go to an overflow heap
+     ordered the same way; the front candidate is always min of the
+     wheel's first live root and the overflow root, compared on
+     (time, seq) with the {e global} seq counter breaking ties across
+     the two structures.
+
+   Windows advance only when a pop crosses them.  Any slot the advance
+   skips can hold only cancelled entries — a live one would have been
+   an earlier minimum than the entry being popped — which is also why a
+   slot index aliased from an older window can never hide a live entry:
+   such leftovers are provably cancelled and are dropped on the next
+   prune or cascade of that slot. *)
+
+type status = Live | Cancelled | Fired
+
+type handle = { mutable status : status }
+
+type 'a entry = {
+  time : Time.t;
+  q : int;  (* quantized deadline: [time * 1024] truncated *)
+  seq : int;  (* global push order; the tie-break everywhere *)
+  payload : 'a;
+  cell : handle;
+}
+
+(* A slot: small binary min-heap on (time, seq).  [arr] is [||] while
+   empty so a drained slot retains no payloads. *)
+type 'a slot = { mutable arr : 'a entry array; mutable len : int }
+
+let bits0 = 10 (* 1024 L0 slots of one quantum: a 1 s window *)
+
+let bits1 = 9 (* 512 L1 slots of one L0 window: a 512 s window *)
+
+let bits2 = 8 (* 256 L2 slots of one L1 window: a ~36 h window *)
+
+type 'a t = {
+  l0 : 'a slot array;
+  l1 : 'a slot array;
+  l2 : 'a slot array;
+  overflow : 'a slot;  (* deadlines beyond the L2 window *)
+  mutable b0 : int;  (* current window index per level: b0 = floor-quantum lsr bits0 *)
+  mutable b1 : int;
+  mutable b2 : int;
+  (* Physical entry counts per level (cancelled included) — scan
+     short-circuits on empty levels. *)
+  mutable c0 : int;
+  mutable c1 : int;
+  mutable c2 : int;
+  (* Scan cursors, monotone except when a placement lands below them:
+     no L0 entry at a quantum below [hint0] (within the current
+     window), no L1 entry in an absolute slot below [hint1], no L2
+     entry in an absolute slot below [hint2]. *)
+  mutable hint0 : int;
+  mutable hint1 : int;
+  mutable hint2 : int;
+  mutable seq : int;
+  mutable live : int;
+  (* Memoized front of the queue: the live entry the next pop will
+     return, and which level holds it (3 = overflow).  Set by a scan or
+     by a push that beats the cached entry; cleared by pop.  Cancelling
+     the cached entry leaves it stale — validity is its Live status. *)
+  mutable front : 'a entry option;
+  mutable front_level : int;
+}
+
+let fresh_slot () = { arr = [||]; len = 0 }
+
+let create () =
+  { l0 = Array.init (1 lsl bits0) (fun _ -> fresh_slot ());
+    l1 = Array.init (1 lsl bits1) (fun _ -> fresh_slot ());
+    l2 = Array.init (1 lsl bits2) (fun _ -> fresh_slot ());
+    overflow = fresh_slot ();
+    b0 = 0;
+    b1 = 0;
+    b2 = 0;
+    c0 = 0;
+    c1 = 0;
+    c2 = 0;
+    hint0 = 0;
+    hint1 = 0;
+    hint2 = 0;
+    seq = 0;
+    live = 0;
+    front = None;
+    front_level = 0 }
+
+let quantum time =
+  let f = Time.seconds time *. 1024.0 in
+  (* Guard the int conversion: huge or non-finite deadlines saturate
+     and land in the overflow heap, where ordering uses the raw time. *)
+  if f >= 4.0e18 then max_int else if f > 0.0 then int_of_float f else 0
+
+let entry_before a b =
+  match Time.compare a.time b.time with
+  | 0 -> a.seq < b.seq
+  | c -> c < 0
+
+(* ---- slot heaps ---- *)
+
+let rec sift_down arr len i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = if l < len && entry_before arr.(l) arr.(i) then l else i in
+  let smallest = if r < len && entry_before arr.(r) arr.(smallest) then r else smallest in
+  if smallest <> i then begin
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(smallest);
+    arr.(smallest) <- tmp;
+    sift_down arr len smallest
+  end
+
+let slot_push s entry =
+  let arr =
+    if s.len = Array.length s.arr then begin
+      let bigger = Array.make (max 4 (2 * s.len)) entry in
+      Array.blit s.arr 0 bigger 0 s.len;
+      s.arr <- bigger;
+      bigger
+    end
+    else s.arr
+  in
+  arr.(s.len) <- entry;
+  s.len <- s.len + 1;
+  let i = ref (s.len - 1) in
+  while
+    !i > 0
+    &&
+    let p = (!i - 1) / 2 in
+    entry_before arr.(!i) arr.(p)
+  do
+    let p = (!i - 1) / 2 in
+    let tmp = arr.(!i) in
+    arr.(!i) <- arr.(p);
+    arr.(p) <- tmp;
+    i := p
+  done
+
+(* Pop the root; caller checked [len > 0].  Vacated cells are cleared
+   (aliased to a still-live entry, or the whole array dropped) so a
+   fired or cancelled payload is never retained by slot storage. *)
+let slot_pop s =
+  let arr = s.arr in
+  let top = arr.(0) in
+  s.len <- s.len - 1;
+  if s.len = 0 then s.arr <- [||]
+  else begin
+    arr.(0) <- arr.(s.len);
+    arr.(s.len) <- arr.(0);
+    sift_down arr s.len 0
+  end;
+  top
+
+(* ---- placement ---- *)
+
+(* Returns the level the entry landed in (3 = overflow). *)
+let place t e =
+  let q = e.q in
+  if q lsr bits0 = t.b0 then begin
+    slot_push t.l0.(q land ((1 lsl bits0) - 1)) e;
+    t.c0 <- t.c0 + 1;
+    if q < t.hint0 then t.hint0 <- q;
+    0
+  end
+  else if q lsr (bits0 + bits1) = t.b1 then begin
+    let s1 = q lsr bits0 in
+    slot_push t.l1.(s1 land ((1 lsl bits1) - 1)) e;
+    t.c1 <- t.c1 + 1;
+    if s1 < t.hint1 then t.hint1 <- s1;
+    1
+  end
+  else if q lsr (bits0 + bits1 + bits2) = t.b2 then begin
+    let s2 = q lsr (bits0 + bits1) in
+    slot_push t.l2.(s2 land ((1 lsl bits2) - 1)) e;
+    t.c2 <- t.c2 + 1;
+    if s2 < t.hint2 then t.hint2 <- s2;
+    2
+  end
+  else begin
+    slot_push t.overflow e;
+    3
+  end
+
+let push t time payload =
+  let q = quantum time in
+  if q < t.b0 lsl bits0 then
+    invalid_arg "Wheel.push: time precedes the last popped event";
+  let cell = { status = Live } in
+  let e = { time; q; seq = t.seq; payload; cell } in
+  t.seq <- t.seq + 1;
+  t.live <- t.live + 1;
+  let level = place t e in
+  (* Keep the front cache exact when the new entry beats it.  A [None]
+     or stale cache stays as-is: claiming [e] is the minimum without a
+     scan would be wrong. *)
+  (match t.front with
+   | Some f when f.cell.status = Live ->
+     if entry_before e f then begin
+       t.front <- Some e;
+       t.front_level <- level
+     end
+   | Some _ | None -> ());
+  cell
+
+let cancel t handle =
+  if handle.status = Live then begin
+    handle.status <- Cancelled;
+    t.live <- t.live - 1
+  end
+
+let is_cancelled _t handle = handle.status = Cancelled
+
+(* ---- cascading ---- *)
+
+(* Move every entry of an L1/L2 slot one level down (after the windows
+   advanced), dropping cancelled entries — including aliased leftovers
+   from older windows, which the header argument shows are always
+   cancelled. *)
+let cascade t s ~level =
+  let n = s.len in
+  if n > 0 then begin
+    (match level with
+     | 1 -> t.c1 <- t.c1 - n
+     | _ -> t.c2 <- t.c2 - n);
+    let arr = s.arr in
+    s.arr <- [||];
+    s.len <- 0;
+    for i = 0 to n - 1 do
+      let e = arr.(i) in
+      if e.cell.status = Live then ignore (place t e)
+    done
+  end
+
+(* Advance the windows so [q] lies in the L0 window, cascading the
+   newly-covered L2 and L1 slots down.  Called with [q] the quantum of
+   the entry being popped (the global minimum), which is what makes
+   skipped slots provably dead. *)
+let advance_to t q =
+  let n0 = q lsr bits0 in
+  if n0 <> t.b0 then begin
+    let n1 = q lsr (bits0 + bits1) in
+    if n1 <> t.b1 then begin
+      let n2 = q lsr (bits0 + bits1 + bits2) in
+      if n2 <> t.b2 then t.b2 <- n2;
+      t.b1 <- n1;
+      t.b0 <- n0;
+      cascade t t.l2.(n1 land ((1 lsl bits2) - 1)) ~level:2;
+      cascade t t.l1.(n0 land ((1 lsl bits1) - 1)) ~level:1
+    end
+    else begin
+      t.b0 <- n0;
+      cascade t t.l1.(n0 land ((1 lsl bits1) - 1)) ~level:1
+    end
+  end
+
+(* ---- the front of the queue ---- *)
+
+let prune t s ~level =
+  while
+    s.len > 0
+    &&
+    match s.arr.(0).cell.status with
+    | Cancelled -> true
+    | Live | Fired -> false
+  do
+    ignore (slot_pop s);
+    match level with
+    | 0 -> t.c0 <- t.c0 - 1
+    | 1 -> t.c1 <- t.c1 - 1
+    | _ -> t.c2 <- t.c2 - 1
+  done
+
+let rec scan_l0 t q w_end =
+  if q >= w_end then begin
+    t.hint0 <- w_end;
+    None
+  end
+  else begin
+    let s = t.l0.(q land ((1 lsl bits0) - 1)) in
+    prune t s ~level:0;
+    if s.len > 0 then begin
+      t.hint0 <- q;
+      Some s.arr.(0)
+    end
+    else scan_l0 t (q + 1) w_end
+  end
+
+let rec scan_l1 t s1 s_end =
+  if s1 >= s_end then begin
+    t.hint1 <- s_end;
+    None
+  end
+  else begin
+    let s = t.l1.(s1 land ((1 lsl bits1) - 1)) in
+    prune t s ~level:1;
+    if s.len > 0 then begin
+      t.hint1 <- s1;
+      Some s.arr.(0)
+    end
+    else scan_l1 t (s1 + 1) s_end
+  end
+
+let rec scan_l2 t s2 s_end =
+  if s2 >= s_end then begin
+    t.hint2 <- s_end;
+    None
+  end
+  else begin
+    let s = t.l2.(s2 land ((1 lsl bits2) - 1)) in
+    prune t s ~level:2;
+    if s.len > 0 then begin
+      t.hint2 <- s2;
+      Some s.arr.(0)
+    end
+    else scan_l2 t (s2 + 1) s_end
+  end
+
+(* Earliest live wheel entry and its level.  Levels cover disjoint,
+   increasing quantum ranges, so the first level with a live entry
+   holds the wheel minimum. *)
+let wheel_min t =
+  let from_l0 =
+    if t.c0 = 0 then None
+    else scan_l0 t (max t.hint0 (t.b0 lsl bits0)) ((t.b0 + 1) lsl bits0)
+  in
+  match from_l0 with
+  | Some e -> Some (e, 0)
+  | None -> (
+    let from_l1 =
+      if t.c1 = 0 then None
+      else scan_l1 t (max t.hint1 (t.b0 + 1)) ((t.b1 + 1) lsl bits1)
+    in
+    match from_l1 with
+    | Some e -> Some (e, 1)
+    | None -> (
+      let from_l2 =
+        if t.c2 = 0 then None
+        else scan_l2 t (max t.hint2 (t.b1 + 1)) ((t.b2 + 1) lsl bits2)
+      in
+      match from_l2 with
+      | Some e -> Some (e, 2)
+      | None -> None))
+
+let prune_overflow t =
+  let s = t.overflow in
+  while
+    s.len > 0
+    &&
+    match s.arr.(0).cell.status with
+    | Cancelled -> true
+    | Live | Fired -> false
+  do
+    ignore (slot_pop s)
+  done
+
+(* Make [t.front] the global minimum: the earlier of the wheel scan
+   and the overflow root, compared on (time, seq) — the overflow can
+   hold quanta that meanwhile fell inside the windows.  A valid cache
+   (set by the previous scan or by a push that beat it, and still Live)
+   is reused as-is, which makes the peek-then-pop cycle cost one scan
+   and no allocation beyond the cached option. *)
+let refresh_front t =
+  match t.front with
+  | Some e when e.cell.status = Live -> ()
+  | Some _ | None -> (
+    let w = wheel_min t in
+    prune_overflow t;
+    let o = if t.overflow.len > 0 then Some t.overflow.arr.(0) else None in
+    match (w, o) with
+    | None, None -> t.front <- None
+    | Some (e, level), None ->
+      t.front <- Some e;
+      t.front_level <- level
+    | None, Some e ->
+      t.front <- Some e;
+      t.front_level <- 3
+    | Some (we, level), Some oe ->
+      if entry_before oe we then begin
+        t.front <- Some oe;
+        t.front_level <- 3
+      end
+      else begin
+        t.front <- Some we;
+        t.front_level <- level
+      end)
+
+let peek_time t =
+  refresh_front t;
+  match t.front with
+  | None -> None
+  | Some e -> Some e.time
+
+let pop t =
+  refresh_front t;
+  match t.front with
+  | None -> None
+  | Some e ->
+    (match t.front_level with
+     | 0 ->
+       ignore (slot_pop t.l0.(e.q land ((1 lsl bits0) - 1)));
+       t.c0 <- t.c0 - 1
+     | 1 | 2 ->
+       (* Bring the entry's quantum into the L0 window (cascades move
+          it down), then take it off the front of its L0 slot. *)
+       advance_to t e.q;
+       let s = t.l0.(e.q land ((1 lsl bits0) - 1)) in
+       prune t s ~level:0;
+       ignore (slot_pop s);
+       t.c0 <- t.c0 - 1
+     | _ ->
+       ignore (slot_pop t.overflow);
+       (* Advance anyway so subsequent pushes place near the new now. *)
+       advance_to t e.q);
+    e.cell.status <- Fired;
+    t.live <- t.live - 1;
+    t.front <- None;
+    Some (e.time, e.payload)
+
+let size t = t.live
+
+let is_empty t = t.live = 0

@@ -1,0 +1,46 @@
+(** Hierarchical timer wheel: a drop-in replacement for {!Event_queue}
+    with identical observable semantics — pops come out in strictly
+    increasing (time, push order), handles cancel exactly the event
+    whose [push] returned them — but with O(1) placement and
+    cancellation and near-O(1) extraction for the clustered,
+    frequently-restarted deadlines protocol timers produce.
+
+    Three levels of slots (1 s, 512 s, ~36 h of coverage at a 2^-10 s
+    quantum) hold near-future deadlines; anything beyond the outermost
+    window falls back to a binary heap.  Each slot is itself a tiny
+    (time, push order) min-heap, so entries sharing a slot drain in
+    exact queue order and golden traces are bit-identical to the heap
+    implementation's.
+
+    Unlike {!Event_queue}, deadlines must not precede the time of the
+    most recently popped event (the wheel's floor).  The simulator
+    guarantees this — it never schedules in the past. *)
+
+type 'a t
+
+type handle
+(** Identifies a scheduled event so it can be cancelled.  Handles are
+    physical: a handle cancels exactly the event whose [push] returned
+    it. *)
+
+val create : unit -> 'a t
+
+val push : 'a t -> Time.t -> 'a -> handle
+(** @raise Invalid_argument if [time] precedes the time of the most
+    recently popped event. *)
+
+val cancel : 'a t -> handle -> unit
+(** Cancelling an already-fired or already-cancelled event is a no-op. *)
+
+val is_cancelled : 'a t -> handle -> bool
+
+val peek_time : 'a t -> Time.t option
+(** Timestamp of the earliest live event, if any. *)
+
+val pop : 'a t -> (Time.t * 'a) option
+(** Remove and return the earliest live event. *)
+
+val size : 'a t -> int
+(** Number of live (non-cancelled) events. *)
+
+val is_empty : 'a t -> bool

@@ -117,9 +117,8 @@ let write_mld w (m : Mld_message.t) =
   (match Mld_message.group m with
    | None -> Wire.Writer.addr w Addr.unspecified
    | Some g -> Wire.Writer.addr w g);
-  let body = Wire.Writer.contents w in
   let len = Wire.Writer.length w - start in
-  Wire.Writer.patch_u16 w (start + 2) (Wire.checksum body start len)
+  Wire.Writer.patch_u16 w (start + 2) (Wire.Writer.checksum_range w start len)
 
 let write_encoded_unicast w addr =
   Wire.Writer.u8 w 2 (* address family: IPv6 *);
@@ -166,9 +165,8 @@ let write_pim w (m : Pim_message.t) =
      Wire.Writer.u16 w interval_s;
      Wire.Writer.u8 w (if prune_indicator then 0x80 else 0);
      Wire.Writer.u8 w 0);
-  let body = Wire.Writer.contents w in
   let len = Wire.Writer.length w - start in
-  Wire.Writer.patch_u16 w (start + 2) (Wire.checksum body start len)
+  Wire.Writer.patch_u16 w (start + 2) (Wire.Writer.checksum_range w start len)
 
 let write_nd w (m : Nd_message.t) =
   let start = Wire.Writer.length w in
@@ -197,9 +195,8 @@ let write_nd w (m : Nd_message.t) =
    | Home_agent_heartbeat { priority; sequence } ->
      Wire.Writer.u16 w priority;
      Wire.Writer.u16 w sequence);
-  let body = Wire.Writer.contents w in
   let len = Wire.Writer.length w - start in
-  Wire.Writer.patch_u16 w (start + 2) (Wire.checksum body start len)
+  Wire.Writer.patch_u16 w (start + 2) (Wire.Writer.checksum_range w start len)
 
 let payload_next_header (p : Packet.payload) =
   match p with
@@ -243,8 +240,16 @@ let rec write_packet w (p : Packet.t) =
   if payload_len > 0xffff then error "payload longer than 65535 bytes";
   Wire.Writer.patch_u16 w (start + 4) payload_len
 
+(* Per-domain encode arena.  [write_packet] never runs foreign code, so
+   within a domain the writer cannot be re-entered; each domain gets its
+   own, so concurrent scenario runs never share it.  [contents] hands
+   the caller a fresh copy — the arena only amortizes the writer record
+   and its grow-and-copy ladder, it never aliases returned frames. *)
+let arena = Domain.DLS.new_key (fun () -> Wire.Writer.create ())
+
 let encode p =
-  let w = Wire.Writer.create () in
+  let w = Domain.DLS.get arena in
+  Wire.Writer.reset w;
   write_packet w p;
   Wire.Writer.contents w
 
@@ -343,12 +348,13 @@ let read_dest_options r ~src =
   (payload_nh, options)
 
 let verify_checksum buf off len what =
-  (* Recompute with the checksum field zeroed. *)
-  let copy = Bytes.sub buf off len in
-  let stored = (Char.code (Bytes.get copy 2) lsl 8) lor Char.code (Bytes.get copy 3) in
-  Bytes.set copy 2 '\000';
-  Bytes.set copy 3 '\000';
-  let computed = Wire.checksum copy 0 len in
+  (* Recompute with the checksum field treated as zero, in place — no
+     frame copy.  A body shorter than the checksum field raises the
+     same out-of-bounds [Invalid_argument] the old copying reader did,
+     which [decode] maps to its malformed-packet error. *)
+  if len < 4 then invalid_arg "index out of bounds";
+  let stored = (Char.code (Bytes.get buf (off + 2)) lsl 8) lor Char.code (Bytes.get buf (off + 3)) in
+  let computed = Wire.checksum_skip16 buf off len ~at:(off + 2) in
   if stored <> computed then
     error "%s checksum mismatch: stored %04x computed %04x" what stored computed
 
@@ -511,3 +517,61 @@ let decode buf =
   match decode_exn buf with
   | p -> Ok p
   | exception Error msg -> Result.Error msg
+
+module Frame = struct
+  (* A flyweight cell interning one packet's encoded frame: the network
+     creates one per transmit, every consumer (wire-check deliveries to
+     each receiver, packet capture) forces the same cell, and a
+     dense-mode fan-out over N links reuses the sender's cell across
+     links — so the frame is encoded once, not once per delivery.
+
+     The shared frame is immutable by convention: consumers that must
+     mutate (corruption injection) work on [copy].  The decoded view is
+     memoized too — all receivers of an uncorrupted frame see what one
+     byte-exact decode of it produces. *)
+
+  type state =
+    | Unforced
+    | Encoded of bytes
+    | Unencodable of string
+
+  type nonrec t = {
+    packet : Packet.t;
+    mutable state : state;
+    mutable decoded : (Packet.t, string) result option;
+  }
+
+  let of_packet packet = { packet; state = Unforced; decoded = None }
+
+  let packet t = t.packet
+
+  let force t =
+    match t.state with
+    | Encoded frame -> Ok frame
+    | Unencodable reason -> Result.Error reason
+    | Unforced -> (
+      match encode t.packet with
+      | frame ->
+        t.state <- Encoded frame;
+        Ok frame
+      | exception Error reason ->
+        t.state <- Unencodable reason;
+        Result.Error reason)
+
+  let copy t =
+    match force t with
+    | Ok frame -> Ok (Bytes.copy frame)
+    | Result.Error _ as e -> e
+
+  let decoded t =
+    match t.decoded with
+    | Some r -> r
+    | None ->
+      let r =
+        match force t with
+        | Ok frame -> decode frame
+        | Result.Error _ as e -> e
+      in
+      t.decoded <- Some r;
+      r
+end

@@ -21,7 +21,12 @@ exception Error of string
 val encode : Packet.t -> bytes
 (** @raise Error when the packet cannot be put on the wire: a [Data]
     payload smaller than 8 bytes (the stream/seq header) or a total
-    payload beyond 65535 bytes. *)
+    payload beyond 65535 bytes.
+
+    Encoding runs through a per-domain arena writer (reused across
+    calls, so steady-state encoding does not pay the writer's
+    grow-and-copy ladder); the returned frame is always a fresh copy
+    owned by the caller. *)
 
 val decode : bytes -> (Packet.t, string) result
 (** Full parse, including ICMPv6/PIM checksum verification. *)
@@ -49,3 +54,35 @@ val sub_option_type_multicast_group_list : int
 
 val encode_sub_option : Packet.sub_option -> bytes
 (** Just the sub-option TLV, as drawn in the paper's Figure 5. *)
+
+(** Interned encoded frames.
+
+    A cell created once per transmission and shared by every consumer
+    of that transmission — per-receiver wire-check deliveries, the
+    packet-capture observer, and (via the network's one-slot memo) a
+    router's fan-out of the {e same} packet value over several links —
+    so the frame is encoded at most once however many times it is
+    consumed.  The forced frame is shared and must not be mutated;
+    mutating consumers (corruption injection) take {!Frame.copy}.  The
+    decode of the shared frame is memoized the same way. *)
+module Frame : sig
+  type t
+
+  val of_packet : Packet.t -> t
+  (** A fresh, unforced cell.  Creating one does not encode. *)
+
+  val packet : t -> Packet.t
+
+  val force : t -> (bytes, string) result
+  (** The interned frame, encoding on first use; [Error] carries the
+      {!Codec.Error} message for packets that cannot go on the wire.
+      The returned bytes are shared — treat them as immutable. *)
+
+  val copy : t -> (bytes, string) result
+  (** Like {!force} but returns a private copy the caller may mutate. *)
+
+  val decoded : t -> (Packet.t, string) result
+  (** [decode] of the interned frame, memoized: every receiver of an
+      uncorrupted shared frame sees the one decoded value, exactly as
+      each would have seen its own byte-identical decode. *)
+end

@@ -1,3 +1,40 @@
+let checksum buf off len =
+  let sum = ref 0 in
+  let i = ref 0 in
+  while !i + 1 < len do
+    let hi = Char.code (Bytes.get buf (off + !i)) in
+    let lo = Char.code (Bytes.get buf (off + !i + 1)) in
+    sum := !sum + ((hi lsl 8) lor lo);
+    i := !i + 2
+  done;
+  if len land 1 = 1 then sum := !sum + (Char.code (Bytes.get buf (off + len - 1)) lsl 8);
+  while !sum lsr 16 <> 0 do
+    sum := (!sum land 0xffff) + (!sum lsr 16)
+  done;
+  lnot !sum land 0xffff
+
+(* One's-complement checksum with the aligned 16-bit word at absolute
+   offset [at] treated as zero — what a verifier computes over a frame
+   whose checksum field is notionally zeroed, without copying the
+   frame. *)
+let checksum_skip16 buf off len ~at =
+  let sum = ref 0 in
+  let i = ref 0 in
+  while !i + 1 < len do
+    if off + !i <> at then begin
+      let hi = Char.code (Bytes.get buf (off + !i)) in
+      let lo = Char.code (Bytes.get buf (off + !i + 1)) in
+      sum := !sum + ((hi lsl 8) lor lo)
+    end;
+    i := !i + 2
+  done;
+  if len land 1 = 1 && off + len - 1 <> at then
+    sum := !sum + (Char.code (Bytes.get buf (off + len - 1)) lsl 8);
+  while !sum lsr 16 <> 0 do
+    sum := (!sum land 0xffff) + (!sum lsr 16)
+  done;
+  lnot !sum land 0xffff
+
 module Writer = struct
   type t = { mutable buf : bytes; mutable len : int }
 
@@ -36,6 +73,16 @@ module Writer = struct
     t.len <- t.len + n
 
   let contents t = Bytes.sub t.buf 0 t.len
+
+  (* Rewind without shrinking: the buffer keeps its high-water-mark
+     capacity, so a reused writer stops paying the grow-and-copy ladder
+     after the first large packet. *)
+  let reset t = t.len <- 0
+
+  let checksum_range t off len =
+    if off < 0 || len < 0 || off + len > t.len then
+      invalid_arg "Writer.checksum_range: range beyond written data";
+    checksum t.buf off len
 
   let patch_u16 t off v =
     if off + 2 > t.len then invalid_arg "Writer.patch_u16: offset beyond written data";
@@ -85,18 +132,3 @@ module Reader = struct
     need t n;
     t.pos <- t.pos + n
 end
-
-let checksum buf off len =
-  let sum = ref 0 in
-  let i = ref 0 in
-  while !i + 1 < len do
-    let hi = Char.code (Bytes.get buf (off + !i)) in
-    let lo = Char.code (Bytes.get buf (off + !i + 1)) in
-    sum := !sum + ((hi lsl 8) lor lo);
-    i := !i + 2
-  done;
-  if len land 1 = 1 then sum := !sum + (Char.code (Bytes.get buf (off + len - 1)) lsl 8);
-  while !sum lsr 16 <> 0 do
-    sum := (!sum land 0xffff) + (!sum lsr 16)
-  done;
-  lnot !sum land 0xffff

@@ -13,10 +13,19 @@ module Writer : sig
   val addr : t -> Addr.t -> unit
   val zeros : t -> int -> unit
   val contents : t -> bytes
+  (** A fresh copy of the written bytes; the writer stays usable. *)
+
+  val reset : t -> unit
+  (** Rewind to empty, keeping the underlying capacity — the reuse hook
+      for {!Codec}'s per-domain encode arena. *)
 
   val patch_u16 : t -> int -> int -> unit
   (** [patch_u16 t off v] overwrites two bytes already written at
       [off]; used for length and checksum fields. *)
+
+  val checksum_range : t -> int -> int -> int
+  (** {!checksum} over already-written bytes, straight off the
+      writer's internal buffer — no intermediate copy. *)
 end
 
 module Reader : sig
@@ -42,3 +51,8 @@ end
 val checksum : bytes -> int -> int -> int
 (** One's-complement 16-bit internet checksum over
     [len] bytes starting at [off]; odd lengths are zero-padded. *)
+
+val checksum_skip16 : bytes -> int -> int -> at:int -> int
+(** Like {!checksum} but treats the aligned 16-bit word at absolute
+    offset [at] as zero, so a verifier can recompute a stored checksum
+    in place without copying the frame. *)

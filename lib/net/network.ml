@@ -52,10 +52,18 @@ type t = {
   mutable n_observers : int;
   (* Frame observers additionally see the sender and L2 destination;
      the packet-capture layer filters on them.  Same growable-array
-     scheme, same zero cost when none are registered. *)
+     scheme, same zero cost when none are registered.  They receive the
+     transmission's interned {!Codec.Frame} cell, so forcing the frame
+     is shared with wire-check deliveries of the same transmission. *)
   mutable frame_observers :
-    (link:Link_id.t -> from:Node_id.t -> dest:l2_dest -> Packet.t -> unit) array;
+    (link:Link_id.t -> from:Node_id.t -> dest:l2_dest -> Codec.Frame.t -> unit) array;
   mutable n_frame_observers : int;
+  (* One-slot frame memo keyed by physical packet identity: a router
+     fanning the same packet value out over N links transmits N times
+     in a row with the identical [Packet.t], and every one of those
+     transmissions shares a single interned frame cell (one encode for
+     the whole dense-mode flood step). *)
+  mutable last_frame : Codec.Frame.t option;
   conditions : (Link_id.t, condition) Hashtbl.t;
   (* Independent fault randomness: [loss_rng] is split from the root
      stream (as it always was); the duplication and reordering streams
@@ -93,6 +101,7 @@ let create sim topology =
     n_observers = 0;
     frame_observers = [||];
     n_frame_observers = 0;
+    last_frame = None;
     conditions = Hashtbl.create 4;
     loss_rng;
     dup_rng = Engine.Rng.derive loss_rng 1;
@@ -113,7 +122,7 @@ let trace t = t.trace
 
 let set_handler t node f = Hashtbl.replace t.handlers node f
 
-let count t link packet =
+let count t link packet ~size =
   let cell =
     match Hashtbl.find_opt t.per_link link with
     | Some cell -> cell
@@ -123,7 +132,7 @@ let count t link packet =
       cell
   in
   cell.c_packets <- cell.c_packets + 1;
-  cell.c_bytes <- cell.c_bytes + Packet.size packet;
+  cell.c_bytes <- cell.c_bytes + size;
   cell.c_data_bytes <- cell.c_data_bytes + Packet.payload_data_bytes packet
 
 (* No conditions table entries means no link has ever been impaired —
@@ -212,42 +221,56 @@ let duplicates_injected t = t.duplicated
 let reordered t = t.reordered
 let blocked t = t.blocked
 
+let drop_malformed t ~link ~to_node reason =
+  count_malformed t to_node;
+  Engine.Trace.recordf t.trace ~category:"link" "%s dropped malformed frame on %s: %s"
+    (Topology.node_name t.topology to_node)
+    (Topology.link_name t.topology link)
+    reason
+
 (* Wire-exact delivery: serialize, optionally corrupt, re-parse.  The
    receiver only ever sees what the byte-exact frame decodes to; a
    frame the decoder rejects (truncation, checksum mismatch, malformed
    option) is dropped here and counted against the receiving node,
    exactly as a real stack discards a bad frame before any protocol
-   logic sees it. *)
-let deliver_wire t ~link ~from ~to_node handler packet =
-  match Codec.encode packet with
-  | exception Codec.Error _ ->
+   logic sees it.
+
+   The frame comes from the transmission's interned cell: encoded once,
+   shared by every receiver.  An uncorrupted delivery also shares the
+   cell's memoized decode — byte-identical input, so the same decoded
+   value each receiver would have computed alone.  Corruption injection
+   copies the shared frame before flipping bytes (copy-on-write), then
+   decodes its private damaged copy. *)
+let deliver_wire t ~link ~from ~to_node handler cell =
+  match Codec.Frame.force cell with
+  | Error _ ->
     (* Not expressible on the wire (a model-only packet): hand it over
        structurally rather than invent a drop no real link would add. *)
-    handler ~link ~from packet
-  | frame -> (
+    handler ~link ~from (Codec.Frame.packet cell)
+  | Ok shared -> (
     let rate = corrupt_rate t link in
     if rate > 0.0 && Engine.Rng.float t.corrupt_rng 1.0 < rate then begin
       (* Flip a few random bytes; frames whose damage lands in a
          checksummed or length-checked region are rejected below, the
          rest decode to a (realistically) silently-altered packet. *)
+      let frame = Bytes.copy shared in
       let len = Bytes.length frame in
       let flips = 1 + Engine.Rng.int t.corrupt_rng 3 in
       for _ = 1 to flips do
         let i = Engine.Rng.int t.corrupt_rng len in
         let mask = 1 + Engine.Rng.int t.corrupt_rng 255 in
         Bytes.set frame i (Char.chr (Char.code (Bytes.get frame i) lxor mask))
-      done
-    end;
-    match Codec.decode frame with
-    | Ok received -> handler ~link ~from received
-    | Error reason ->
-      count_malformed t to_node;
-      Engine.Trace.recordf t.trace ~category:"link" "%s dropped malformed frame on %s: %s"
-        (Topology.node_name t.topology to_node)
-        (Topology.link_name t.topology link)
-        reason)
+      done;
+      match Codec.decode frame with
+      | Ok received -> handler ~link ~from received
+      | Error reason -> drop_malformed t ~link ~to_node reason
+    end
+    else
+      match Codec.Frame.decoded cell with
+      | Ok received -> handler ~link ~from received
+      | Error reason -> drop_malformed t ~link ~to_node reason)
 
-let deliver t ~link ~from ~to_node packet =
+let deliver t ~link ~from ~to_node cell =
   (* Attachment and link state are re-checked at delivery time: a node
      that moved away while the frame was in flight misses it, and a
      link that went down kills its in-flight frames.  On a faultless
@@ -260,8 +283,8 @@ let deliver t ~link ~from ~to_node packet =
     else
       match Hashtbl.find_opt t.handlers to_node with
       | Some handler ->
-        if t.wire_check then deliver_wire t ~link ~from ~to_node handler packet
-        else handler ~link ~from packet
+        if t.wire_check then deliver_wire t ~link ~from ~to_node handler cell
+        else handler ~link ~from (Codec.Frame.packet cell)
       | None -> ()
   end
 
@@ -282,50 +305,61 @@ let transmit t ~from ~link dest packet =
       Engine.Trace.recordf t.trace ~category:"fault" "blocked: %s is down"
         (Topology.link_name t.topology link)
     | _ ->
-      count t link packet;
+      let size = Packet.size packet in
+      count t link packet ~size;
       for i = 0 to t.n_observers - 1 do
         (Array.unsafe_get t.observers i) link packet
       done;
+      (* The interned frame cell for this transmission; consecutive
+         transmits of the physically-same packet (a flood step's
+         per-link fan-out) reuse the previous cell, so the whole
+         fan-out encodes once. *)
+      let cell =
+        match t.last_frame with
+        | Some f when Codec.Frame.packet f == packet -> f
+        | _ ->
+          let f = Codec.Frame.of_packet packet in
+          t.last_frame <- Some f;
+          f
+      in
       for i = 0 to t.n_frame_observers - 1 do
-        (Array.unsafe_get t.frame_observers i) ~link ~from ~dest packet
+        (Array.unsafe_get t.frame_observers i) ~link ~from ~dest cell
       done;
       (* Propagation plus serialization: the link's bandwidth turns the
          packet size into transmission time. *)
       let base_delay =
         Engine.Time.add
           (Topology.link_delay t.topology link)
-          (float_of_int (8 * Packet.size packet) /. Topology.link_bandwidth_bps t.topology link)
-      in
-      let targets =
-        match dest with
-        | To_node n -> [ n ]
-        | To_all ->
-          List.filter
-            (fun n -> not (Node_id.equal n from))
-            (Topology.nodes_on_link t.topology link)
+          (float_of_int (8 * size) /. Topology.link_bandwidth_bps t.topology link)
       in
       let schedule to_node delay =
         ignore
           (Engine.Sim.schedule_after ~category:"net" t.sim delay (fun () ->
-               deliver t ~link ~from ~to_node packet))
+               deliver t ~link ~from ~to_node cell))
       in
-      List.iter
-        (fun to_node ->
-          let delay =
-            match cond with
-            | Some c when c.reorder > 0.0 && Engine.Rng.float t.reorder_rng 1.0 < c.reorder ->
-              t.reordered <- t.reordered + 1;
-              Engine.Time.add base_delay
-                (Engine.Rng.float t.reorder_rng (Engine.Time.seconds c.reorder_jitter))
-            | Some _ | None -> base_delay
-          in
-          schedule to_node delay;
+      let deliver_to to_node =
+        let delay =
           match cond with
-          | Some c when c.dup > 0.0 && Engine.Rng.float t.dup_rng 1.0 < c.dup ->
-            t.duplicated <- t.duplicated + 1;
-            schedule to_node delay
-          | Some _ | None -> ())
-        targets
+          | Some c when c.reorder > 0.0 && Engine.Rng.float t.reorder_rng 1.0 < c.reorder ->
+            t.reordered <- t.reordered + 1;
+            Engine.Time.add base_delay
+              (Engine.Rng.float t.reorder_rng (Engine.Time.seconds c.reorder_jitter))
+          | Some _ | None -> base_delay
+        in
+        schedule to_node delay;
+        match cond with
+        | Some c when c.dup > 0.0 && Engine.Rng.float t.dup_rng 1.0 < c.dup ->
+          t.duplicated <- t.duplicated + 1;
+          schedule to_node delay
+        | Some _ | None -> ()
+      in
+      (match dest with
+       | To_node n -> deliver_to n
+       | To_all ->
+         (* Same members in the same ascending order the old
+            list-building path produced, without the list. *)
+         Topology.iter_nodes_on_link t.topology link (fun n ->
+             if not (Node_id.equal n from) then deliver_to n))
   end
 
 let claim_address t node ~link addr = Hashtbl.replace t.owners (link, addr) node

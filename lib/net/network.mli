@@ -96,13 +96,16 @@ val set_corrupt_rate : t -> Ids.Link_id.t -> float -> unit
 val corrupt_rate : t -> Ids.Link_id.t -> float
 
 val set_wire_check : t -> bool -> unit
-(** Wire-exactness mode: every delivery is serialized with
-    [Codec.encode], optionally corrupted ({!set_corrupt_rate}), and
-    re-parsed with [Codec.decode] before the receiver's handler runs —
+(** Wire-exactness mode: every delivery goes through a byte-exact
+    [Codec.encode]/[Codec.decode] round trip (optionally corrupted in
+    between, {!set_corrupt_rate}) before the receiver's handler runs —
     so receivers only ever see what the byte-exact frame decodes to,
     and frames the decoder rejects are dropped-and-counted like a real
-    stack discarding a bad frame.  Off by default (structural delivery,
-    the fast path). *)
+    stack discarding a bad frame.  The round trip is interned per
+    transmission ({!Codec.Frame}): one encode and one decode are shared
+    by all receivers of an uncorrupted frame, while corruption
+    injection copies the shared frame before damaging it.  Off by
+    default (structural delivery, the fast path). *)
 
 val wire_check : t -> bool
 
@@ -155,11 +158,14 @@ val add_transmit_observer : t -> (Ids.Link_id.t -> Packet.t -> unit) -> unit
 
 val add_frame_observer :
   t ->
-  (link:Ids.Link_id.t -> from:Ids.Node_id.t -> dest:l2_dest -> Packet.t -> unit) ->
+  (link:Ids.Link_id.t -> from:Ids.Node_id.t -> dest:l2_dest -> Codec.Frame.t -> unit) ->
   unit
 (** Like {!add_transmit_observer} but also sees the transmitting node
     and the L2 destination — the packet-capture layer's hook, whose
-    per-node filters need the sender.  Zero per-packet cost while no
-    frame observer is registered. *)
+    per-node filters need the sender.  The observer receives the
+    transmission's interned {!Codec.Frame} cell: forcing it shares the
+    one encode with wire-check deliveries of the same transmission, and
+    the shared bytes must not be mutated.  Zero per-packet cost while
+    no frame observer is registered. *)
 
 val reset_stats : t -> unit

@@ -117,6 +117,10 @@ let is_attached t node_id link_id = Link_id.Set.mem link_id (node t node_id).att
 
 let nodes_on_link t link_id = Node_id.Set.elements (link t link_id).members
 
+(* Same members, same ascending order, no list materialized — the
+   per-transmit fan-out path. *)
+let iter_nodes_on_link t link_id f = Node_id.Set.iter f (link t link_id).members
+
 let routers_on_link t link_id =
   List.filter (fun n -> (node t n).kind = Router) (nodes_on_link t link_id)
 

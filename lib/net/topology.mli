@@ -58,6 +58,11 @@ val is_attached : t -> Ids.Node_id.t -> Ids.Link_id.t -> bool
 val nodes_on_link : t -> Ids.Link_id.t -> Ids.Node_id.t list
 (** Sorted by id. *)
 
+val iter_nodes_on_link : t -> Ids.Link_id.t -> (Ids.Node_id.t -> unit) -> unit
+(** Iterate the link's members in the same ascending order as
+    {!nodes_on_link}, without building the list — the network's
+    per-transmit fan-out uses this. *)
+
 val routers_on_link : t -> Ids.Link_id.t -> Ids.Node_id.t list
 
 val links_of_node : t -> Ids.Node_id.t -> Ids.Link_id.t list

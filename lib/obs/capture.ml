@@ -52,7 +52,7 @@ let attach ?links ?nodes ?application net =
       captured = 0;
       unencodable = 0 }
   in
-  Network.add_frame_observer net (fun ~link ~from ~dest:_ packet ->
+  Network.add_frame_observer net (fun ~link ~from ~dest:_ cell ->
       match Hashtbl.find_opt t.ifaces link with
       | None -> ()
       | Some iface ->
@@ -62,13 +62,17 @@ let attach ?links ?nodes ?application net =
           | Some set -> Node_id.Set.mem from set
         in
         if wanted then (
-          match Ipv6.Codec.encode packet with
-          | frame ->
+          (* Force the transmission's interned frame — shared with any
+             wire-check delivery of the same transmission, so capture
+             adds no extra encode.  [add_packet] copies the bytes into
+             the pcapng stream, never mutating the shared frame. *)
+          match Ipv6.Codec.Frame.force cell with
+          | Ok frame ->
             Pcapng.Writer.add_packet t.writer ~iface
               ~ts:(Engine.Time.seconds (Engine.Sim.now t.sim))
               frame;
             t.captured <- t.captured + 1
-          | exception Ipv6.Codec.Error _ -> t.unencodable <- t.unencodable + 1));
+          | Error _ -> t.unencodable <- t.unencodable + 1));
   t
 
 let frames t = t.captured

@@ -117,3 +117,25 @@ let with_pool ?jobs f =
 let map ?(jobs = 1) f items =
   if jobs <= 1 then List.map f items
   else with_pool ~jobs (fun pool -> run pool (List.map (fun x () -> f x) items))
+
+let map_weighted ?(jobs = 1) ~weight f items =
+  if jobs <= 1 then List.map f items
+  else begin
+    let arr = Array.of_list items in
+    let n = Array.length arr in
+    let w = Array.map weight arr in
+    let order = Array.init n (fun i -> i) in
+    (* Heaviest first; ties keep input order so scheduling is
+       deterministic. *)
+    Array.sort
+      (fun a b -> match compare w.(b) w.(a) with 0 -> compare a b | c -> c)
+      order;
+    let results = Array.make n None in
+    with_pool ~jobs (fun pool ->
+        ignore
+          (run pool
+             (Array.to_list
+                (Array.map (fun i () -> results.(i) <- Some (f arr.(i))) order))));
+    Array.to_list results
+    |> List.map (function Some v -> v | None -> assert false)
+  end

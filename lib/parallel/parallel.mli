@@ -47,6 +47,16 @@ val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
     1 (sequential) so library callers opt in explicitly; the binaries
     default their [--jobs] flags to {!default_jobs}. *)
 
+val map_weighted : ?jobs:int -> weight:('a -> int) -> ('a -> 'b) -> 'a list -> 'b list
+(** Like {!map}, but tasks are handed to the pool heaviest-first
+    (ties keep input order).  With a task-size estimate as the weight,
+    this avoids the straggler pattern where an expensive item queued
+    last runs alone at the end of the batch while every other worker
+    idles.  Results are still in input order, and with [jobs <= 1] it
+    is exactly [List.map f items] — the weight never affects output,
+    only wall-clock time.  If tasks raise, the first exception in
+    weight order (not input order) wins. *)
+
 val with_pool : ?jobs:int -> (pool -> 'a) -> 'a
 (** Create a pool, run [f], and shut the pool down (also on
     exceptions). *)

@@ -29,7 +29,11 @@ let run ?(jobs = 1) cells =
     List.concat_map (fun cell -> List.map (fun a -> (cell, a)) Approach.all) cells
   in
   let outcomes =
-    Parallel.map ~jobs
+    (* Largest matrix cells first: a 100-router run can cost orders of
+       magnitude more than a 25-router one, and scheduling it last
+       would leave the pool draining behind a single straggler. *)
+    Parallel.map_weighted ~jobs
+      ~weight:(fun (cell, _) -> cell.c_routers)
       (fun (cell, approach) -> Runner.run (desc_of cell) approach)
       tasks
   in

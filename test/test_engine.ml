@@ -148,6 +148,111 @@ let event_queue_properties =
   List.map QCheck_alcotest.to_alcotest
     [ sorted_pop_matches_sort; cancel_any_subset; interleavings_match_model ]
 
+let wheel_tests =
+  let drain w =
+    let rec loop acc =
+      match Wheel.pop w with None -> List.rev acc | Some e -> loop (e :: acc)
+    in
+    loop []
+  in
+  [ Alcotest.test_case "orders across wheel levels and overflow" `Quick
+      (fun () ->
+        (* One deadline per placement tier: L0 (sub-second), L1
+           (minutes), L2 (hours), and two in the overflow heap. *)
+        let w = Wheel.create () in
+        let times = [ 3000.0; 0.5; 300.0; 40000.0; 200000.0 ] in
+        List.iteri (fun i t -> ignore (Wheel.push w t i)) times;
+        Alcotest.(check (list (pair (float 1e-9) int)))
+          "sorted by time"
+          [ (0.5, 1); (300.0, 2); (3000.0, 0); (40000.0, 3); (200000.0, 4) ]
+          (drain w));
+    Alcotest.test_case "equal deadlines pop in push order" `Quick (fun () ->
+        let w = Wheel.create () in
+        List.iter (fun i -> ignore (Wheel.push w 7.25 i)) [ 0; 1; 2; 3 ];
+        Alcotest.(check (list (pair (float 1e-9) int)))
+          "fifo" [ (7.25, 0); (7.25, 1); (7.25, 2); (7.25, 3) ] (drain w));
+    Alcotest.test_case "cancelled events never surface" `Quick (fun () ->
+        let w = Wheel.create () in
+        let _a = Wheel.push w 1.0 "a" in
+        let b = Wheel.push w 2.0 "b" in
+        let _c = Wheel.push w 3.0 "c" in
+        Wheel.cancel w b;
+        Alcotest.(check bool) "marked" true (Wheel.is_cancelled w b);
+        Alcotest.(check int) "size counts live only" 2 (Wheel.size w);
+        Alcotest.(check (list (pair (float 1e-9) string)))
+          "b skipped" [ (1.0, "a"); (3.0, "c") ] (drain w));
+    Alcotest.test_case "push before the pop floor raises" `Quick (fun () ->
+        let w = Wheel.create () in
+        ignore (Wheel.push w 10.0 ());
+        ignore (Wheel.pop w);
+        Alcotest.check_raises "past deadline"
+          (Invalid_argument "Wheel.push: time precedes the last popped event")
+          (fun () -> ignore (Wheel.push w 5.0 ())));
+  ]
+
+let wheel_properties =
+  let wheel_matches_heap =
+    (* The wheel must be observationally identical to the binary heap
+       under any schedule/cancel/pop interleaving the simulator can
+       produce (deadlines never precede the last popped time).  Deltas
+       are scaled to land in every placement tier — L0 slots, L1/L2
+       cascades, and the overflow heap. *)
+    QCheck.Test.make ~name:"wheel and heap fire identical sequences" ~count:300
+      QCheck.(list (triple (int_range 0 5) (int_range 0 2_000_000) (int_range 0 15)))
+      (fun ops ->
+        let w = Wheel.create () in
+        let q = Event_queue.create () in
+        let scales = [| 0.0005; 0.3; 40.0; 3000.0 |] in
+        let now = ref 0.0 in
+        let next_id = ref 0 in
+        (* Live entries: (id, wheel handle, heap handle). *)
+        let live = ref [] in
+        let ok = ref true in
+        List.iter
+          (fun (tag, draw, pick) ->
+            match tag with
+            | 0 | 1 | 2 ->
+              let delta =
+                float_of_int (draw mod 997) *. scales.(pick land 3)
+              in
+              let time = !now +. delta in
+              let id = !next_id in
+              incr next_id;
+              let wh = Wheel.push w time id in
+              let qh = Event_queue.push q time id in
+              live := (id, wh, qh) :: !live
+            | 3 -> (
+              match !live with
+              | [] -> ()
+              | entries ->
+                let ((_, wh, qh) as victim) =
+                  List.nth entries (pick mod List.length entries)
+                in
+                Wheel.cancel w wh;
+                Event_queue.cancel q qh;
+                live := List.filter (fun e -> e != victim) entries)
+            | _ -> (
+              if Wheel.peek_time w <> Event_queue.peek_time q then ok := false;
+              match (Wheel.pop w, Event_queue.pop q) with
+              | None, None -> ()
+              | Some (wt, wid), Some (qt, qid) when wt = qt && wid = qid ->
+                now := wt;
+                live := List.filter (fun (i, _, _) -> i <> wid) !live
+              | _ -> ok := false))
+          ops;
+        (* Drain whatever is left and compare the tails too. *)
+        let rec drain () =
+          match (Wheel.pop w, Event_queue.pop q) with
+          | None, None -> ()
+          | Some (wt, wid), Some (qt, qid) when wt = qt && wid = qid -> drain ()
+          | _ -> ok := false
+        in
+        if Wheel.size w <> List.length !live then ok := false;
+        drain ();
+        !ok)
+  in
+  List.map QCheck_alcotest.to_alcotest [ wheel_matches_heap ]
+
 let sim_tests =
   [ Alcotest.test_case "clock advances to event times" `Quick (fun () ->
         let sim = Sim.create () in
@@ -565,6 +670,7 @@ let () =
   Alcotest.run "engine"
     [ ("time", time_tests);
       ("event_queue", event_queue_tests @ event_queue_properties);
+      ("wheel", wheel_tests @ wheel_properties);
       ("sim", sim_tests);
       ("timer", timer_tests);
       ("rng", rng_tests @ rng_properties);

@@ -20,10 +20,14 @@ let golden =
     (Approach.tunnel_to_home_agent, "31c85789d8f678f4be952e82187b903d");
     (Approach.tunnel_from_home_agent, "bb3a07d1e1630a6aa01b2ff078763103") ]
 
-let canonical_run approach =
+let canonical_run ?(wire_check = false) ?(capture = false) approach =
   let spec = { Scenario.default_spec with Scenario.approach } in
   let scenario = Scenario.paper_figure1 spec in
   let sim = scenario.Scenario.sim in
+  if wire_check then Net.Network.set_wire_check scenario.Scenario.net true;
+  let cap =
+    if capture then Some (Obs.Capture.attach scenario.Scenario.net) else None
+  in
   ignore
     (Engine.Sim.schedule_at sim 5.0 (fun () ->
          Scenario.subscribe_receivers scenario Scenario.group));
@@ -50,6 +54,11 @@ let canonical_run approach =
   in
   ignore (Engine.Sim.schedule_at sim 70.0 r3_tick);
   Scenario.run_until scenario 120.0;
+  (match cap with
+   | Some c ->
+     if Obs.Capture.frames c = 0 then
+       Alcotest.fail "capture attached but recorded no frames"
+   | None -> ());
   let trace = Net.Network.trace scenario.Scenario.net in
   (Engine.Trace.digest trace, Engine.Trace.count trace)
 
@@ -76,6 +85,28 @@ let stability_tests =
         Alcotest.(check int) "four distinct traces" 4
           (List.length (List.sort_uniq String.compare pinned))) ]
 
+(* The wire-exact path and the capture observer must be pure
+   observers: running the same scenario through the interned
+   encode/decode round trip (with capture forcing the shared frame at
+   transmit time) has to digest identically to the structural run.
+   Because the plain digests are pinned above, equality here pins the
+   shared-frame path to the same behaviour. *)
+let perturbation_tests =
+  List.map
+    (fun (approach, pinned) ->
+      Alcotest.test_case
+        (Printf.sprintf "wire-check+capture non-perturbing (%s)"
+           (Approach.name approach))
+        `Quick
+        (fun () ->
+          let wire, _ = canonical_run ~wire_check:true approach in
+          Alcotest.(check string) "wire-check digest" pinned wire;
+          let both, _ = canonical_run ~wire_check:true ~capture:true approach in
+          Alcotest.(check string) "wire-check+capture digest" pinned both))
+    golden
+
 let () =
   Alcotest.run "golden"
-    [ ("figure1 trace digests", golden_tests); ("stability", stability_tests) ]
+    [ ("figure1 trace digests", golden_tests);
+      ("stability", stability_tests);
+      ("observer purity", perturbation_tests) ]

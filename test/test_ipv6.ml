@@ -461,6 +461,49 @@ let codec_properties =
   ]
   |> List.map QCheck_alcotest.to_alcotest
 
+let frame_properties =
+  (* The interned frame must be indistinguishable from a fresh encode:
+     the network's fan-out path substitutes one shared [Frame.force]
+     for the per-delivery [Codec.encode] it replaced, and these
+     properties are what make that substitution sound.  [arb_packet]
+     ranges over every message family (data, MLD, PIM, ND, empty,
+     encapsulated, with destination options). *)
+  let force_is_encode =
+    QCheck.Test.make ~name:"interned frame is byte-identical to a fresh encode"
+      ~count:500 arb_packet (fun p ->
+        let cell = Codec.Frame.of_packet p in
+        match Codec.Frame.force cell with
+        | Error _ -> false
+        | Ok frame -> Bytes.equal frame (Codec.encode p))
+  in
+  let force_is_shared =
+    QCheck.Test.make ~name:"force returns the same physical frame every time"
+      ~count:200 arb_packet (fun p ->
+        let cell = Codec.Frame.of_packet p in
+        match (Codec.Frame.force cell, Codec.Frame.force cell) with
+        | Ok a, Ok b -> a == b
+        | _ -> false)
+  in
+  let copy_is_private =
+    QCheck.Test.make ~name:"copy equals the frame but never aliases it" ~count:200
+      arb_packet (fun p ->
+        let cell = Codec.Frame.of_packet p in
+        match (Codec.Frame.copy cell, Codec.Frame.force cell) with
+        | Ok copy, Ok frame -> Bytes.equal copy frame && not (copy == frame)
+        | _ -> false)
+  in
+  let decoded_matches_decode =
+    QCheck.Test.make ~name:"memoized decode equals decoding the shared frame"
+      ~count:500 arb_packet (fun p ->
+        let cell = Codec.Frame.of_packet p in
+        match (Codec.Frame.decoded cell, Codec.decode (Codec.encode p)) with
+        | Ok a, Ok b -> Packet.equal a b && Packet.equal a (Codec.Frame.packet cell)
+        | Error a, Error b -> a = b
+        | _ -> false)
+  in
+  List.map QCheck_alcotest.to_alcotest
+    [ force_is_encode; force_is_shared; copy_is_private; decoded_matches_decode ]
+
 let fuzz_properties =
   (* Decoding must never raise on arbitrary input: it either parses or
      reports an error. *)
@@ -519,6 +562,6 @@ let () =
     [ ("addr", addr_tests @ addr_properties);
       ("prefix", prefix_tests @ prefix_properties);
       ("packet", packet_tests);
-      ("codec", codec_tests @ codec_properties @ fuzz_properties);
+      ("codec", codec_tests @ codec_properties @ frame_properties @ fuzz_properties);
       ("hexdump", hexdump_tests)
     ]
