@@ -418,7 +418,7 @@ let sweep_row_json (r : Experiments.sweep_row) =
       ("wasted_mean_bytes", Obs.Json.float r.Experiments.wasted_mean_bytes);
       ("mld_bytes_per_s", Obs.Json.float r.Experiments.mld_bytes_per_s) ]
 
-let sweep_cmd trials no_unsolicited tqueries jobs telemetry =
+let sweep_cmd seed trials no_unsolicited tqueries jobs telemetry =
   let values =
     String.split_on_char ',' tqueries |> List.filter_map float_of_string_opt
   in
@@ -426,8 +426,8 @@ let sweep_cmd trials no_unsolicited tqueries jobs telemetry =
   else if jobs < 1 then `Error (false, "jobs must be at least 1")
   else begin
     let rows =
-      Experiments.timer_sweep ~trials ~unsolicited:(not no_unsolicited)
-        ~tquery_values:values ~jobs ()
+      Experiments.timer_sweep ~base_seed:seed ~trials
+        ~unsolicited:(not no_unsolicited) ~tquery_values:values ~jobs ()
     in
     Printf.printf "%8s %22s %10s %12s %10s\n" "TQuery" "join mean/min/max [s]" "leave [s]"
       "wasted [B]" "MLD [B/s]";
@@ -445,11 +445,13 @@ let sweep_cmd trials no_unsolicited tqueries jobs telemetry =
        Obs.Json.write_file ~pretty:true ~path
          (Obs.Json.Obj
             [ ("schema", Obs.Json.String "mmcast-sweep/1");
+              ("seed", Obs.Json.Int seed);
               ("trials", Obs.Json.Int trials);
               ("unsolicited", Obs.Json.Bool (not no_unsolicited));
               ("rows", Obs.Json.List (List.map sweep_row_json rows)) ]);
        let m = Obs.Manifest.create ~tool:"mmcast_sim" () in
        Obs.Manifest.add_string m "command" "sweep";
+       Obs.Manifest.add_int m "seed" seed;
        Obs.Manifest.add_int m "trials" trials;
        Obs.Manifest.add m "tquery_values"
          (Obs.Json.List (List.map Obs.Json.float values));
@@ -471,7 +473,9 @@ let sweep_term =
     Arg.(value & opt string "125,60,30,10" & info [ "tquery" ] ~docv:"LIST" ~doc)
   in
   Term.(
-    ret (const sweep_cmd $ trials $ unsolicited_arg $ tqueries $ jobs_arg $ telemetry_arg))
+    ret
+      (const sweep_cmd $ seed_arg $ trials $ unsolicited_arg $ tqueries $ jobs_arg
+      $ telemetry_arg))
 
 (* ---- trace ---- *)
 
@@ -849,6 +853,7 @@ let scale_cmd quick sizes models seeds seed jobs telemetry =
        Obs.Json.write_file ~pretty:true ~path (Scale.Suite.to_json rows);
        let m = Obs.Manifest.create ~tool:"mmcast_sim" () in
        Obs.Manifest.add_string m "command" "scale";
+       Obs.Manifest.add_int m "seed" seed;
        Obs.Manifest.add_int m "base_seed" seed;
        Obs.Manifest.add m "sizes" (Obs.Json.List (List.map (fun s -> Obs.Json.Int s) sizes));
        Obs.Manifest.add m "models"
@@ -889,6 +894,184 @@ let scale_term =
       (const scale_cmd $ quick $ sizes $ models $ seeds $ seed_arg $ jobs_arg
       $ telemetry_arg))
 
+(* ---- explore ---- *)
+
+let explore_cmd strategy budget seed approach routers clean desc_file sustain
+    delay_slots delay_max telemetry =
+  if approach < 1 || approach > 4 then `Error (false, "approach must be 1-4")
+  else if budget < 1 then `Error (false, "budget must be at least 1")
+  else if delay_slots < 1 then `Error (false, "delay-slots must be at least 1")
+  else
+    match Explore.Strategy.of_name strategy with
+    | None ->
+      `Error
+        ( false,
+          Printf.sprintf "unknown strategy %S (expected %s)" strategy
+            (String.concat ", " Explore.Strategy.all_names) )
+    | Some strat -> (
+      let target =
+        match desc_file with
+        | Some path -> (
+          match
+            let ic = open_in path in
+            Fun.protect
+              ~finally:(fun () -> close_in ic)
+              (fun () -> really_input_string ic (in_channel_length ic))
+          with
+          | exception Sys_error msg -> Error msg
+          | contents ->
+            Result.bind (Obs.Json.of_string contents) Scale.Desc.of_json)
+        | None ->
+          if clean then Ok (Scale.Gen.clean ~routers ~seed ())
+          else Ok (Scale.Gen.broken ~routers ~seed ())
+      in
+      match target with
+      | Error msg -> `Error (false, Printf.sprintf "cannot load scenario: %s" msg)
+      | Ok d ->
+        (* Only the default target — the seeded graft-disabled oracle —
+           is known-broken: there the hunt must succeed.  A loaded
+           descriptor or the clean twin is expected to survive. *)
+        let expect_violation = desc_file = None && not clean in
+        let a = Approach.of_number approach in
+        Printf.printf "exploring %s (%s) under %s: strategy %s, budget %d, seed %d\n%!"
+          d.Scale.Desc.d_name
+          (Scale.Desc.size_summary d)
+          (Approach.name a) strategy budget seed;
+        let outcome =
+          Explore.Explorer.explore ~budget ~sustain ~delay_slots ~delay_max ~seed
+            ~on_progress:(fun p ->
+              Printf.printf
+                "  %4d schedule(s), %4d distinct trace(s), %d violation(s), %.1f s\n%!"
+                p.Explore.Explorer.pr_runs p.Explore.Explorer.pr_distinct
+                p.Explore.Explorer.pr_violations p.Explore.Explorer.pr_wall_s)
+            ~strategy:strat d a
+        in
+        let per_s =
+          if outcome.Explore.Explorer.ex_wall_s > 0.0 then
+            float_of_int outcome.Explore.Explorer.ex_runs
+            /. outcome.Explore.Explorer.ex_wall_s
+          else 0.0
+        in
+        Printf.printf
+          "%d schedule(s) explored (%.1f/s), %d distinct trace digest(s)%s\n"
+          outcome.Explore.Explorer.ex_runs per_s
+          outcome.Explore.Explorer.ex_distinct
+          (if outcome.Explore.Explorer.ex_exhausted then
+             "; bounded DFS space exhausted"
+           else "");
+        let manifest = Obs.Manifest.create ~tool:"mmcast_sim" () in
+        Obs.Manifest.add_string manifest "command" "explore";
+        Obs.Manifest.add_int manifest "seed" seed;
+        Obs.Manifest.add_string manifest "strategy" strategy;
+        Obs.Manifest.add_int manifest "budget" budget;
+        Obs.Manifest.add_int manifest "approach" approach;
+        Obs.Manifest.add_string manifest "scenario" d.Scale.Desc.d_name;
+        Obs.Manifest.add_string manifest "scenario_digest" (Scale.Desc.digest d);
+        Obs.Manifest.add_int manifest "runs" outcome.Explore.Explorer.ex_runs;
+        Obs.Manifest.add_int manifest "distinct_digests"
+          outcome.Explore.Explorer.ex_distinct;
+        let write_artifacts repro =
+          match telemetry with
+          | None -> ()
+          | Some dir ->
+            ensure_dir dir;
+            let progress_path = Explore.Explorer.write_progress outcome ~dir in
+            Obs.Manifest.add_output manifest ~kind:"explore-progress" progress_path;
+            Printf.printf "exploration progress -> %s\n" progress_path;
+            (match repro with
+            | None -> ()
+            | Some r ->
+              let path = Scale.Repro.write r ~dir in
+              Obs.Manifest.add_output manifest ~kind:"repro" path;
+              Printf.printf "shrunk repro bundle -> %s\n" path);
+            Obs.Manifest.write manifest
+              ~path:(Filename.concat dir "explore_manifest.json")
+        in
+        (match outcome.Explore.Explorer.ex_violation with
+        | None ->
+          write_artifacts None;
+          if expect_violation then
+            `Error
+              ( false,
+                Printf.sprintf
+                  "the seeded graft-disabled violation was not found within %d \
+                   schedule(s)"
+                  budget )
+          else begin
+            Printf.printf
+              "no invariant violation under any explored interleaving\n";
+            `Ok ()
+          end
+        | Some (sched, v) -> (
+          Printf.printf "violating schedule: %s\n  %s\n"
+            (Explore.Schedule.summary sched)
+            (Format.asprintf "%a" Check.Monitor.pp_violation v);
+          match
+            Explore.Explorer.minimize ~sustain d a sched
+          with
+          | None ->
+            write_artifacts None;
+            `Error (false, "violating schedule did not reproduce under shrinking")
+          | Some (ss, repro) ->
+            let n_choices =
+              List.length
+                ss.Scale.Shrink.ss_sched.Scale.Runner.sched_choices
+            in
+            Printf.printf
+              "minimized to %d deviation(s) from the canonical schedule in %d \
+               oracle run(s) (%s)\n"
+              n_choices ss.Scale.Shrink.ss_runs
+              (Check.Monitor.invariant_name ss.Scale.Shrink.ss_invariant);
+            write_artifacts (Some repro);
+            if Scale.Repro.replay repro = [] then
+              `Error (false, "repro bundle no longer replays its violation")
+            else begin
+              Printf.printf "repro bundle replays the violation deterministically\n";
+              if expect_violation then `Ok ()
+              else `Error (false, "invariant violation found by exploration")
+            end)))
+
+let explore_term =
+  let strategy =
+    let doc = "Search strategy: $(b,dfs), $(b,pct), or $(b,walk)." in
+    Arg.(value & opt string "pct" & info [ "strategy" ] ~docv:"NAME" ~doc)
+  in
+  let budget =
+    let doc = "Maximum schedules to explore." in
+    Arg.(value & opt int 500 & info [ "budget" ] ~docv:"N" ~doc)
+  in
+  let routers =
+    let doc = "Router count of the generated target scenario." in
+    Arg.(value & opt int 5 & info [ "routers" ] ~docv:"N" ~doc)
+  in
+  let clean =
+    let doc =
+      "Explore the graft-enabled twin of the broken variant instead: every \
+       interleaving must pass (exit nonzero if any violates)."
+    in
+    Arg.(value & flag & info [ "clean" ] ~doc)
+  in
+  let desc_file =
+    let doc = "Explore a scenario descriptor loaded from $(docv) instead." in
+    Arg.(value & opt (some string) None & info [ "desc" ] ~docv:"FILE" ~doc)
+  in
+  let sustain =
+    let doc = "Monitor sustain override in seconds (the cheap-oracle bound)." in
+    Arg.(value & opt float 10.0 & info [ "sustain" ] ~docv:"S" ~doc)
+  in
+  let delay_slots =
+    let doc = "Arity of per-hop delivery-delay choice points (1 disables them)." in
+    Arg.(value & opt int 3 & info [ "delay-slots" ] ~docv:"K" ~doc)
+  in
+  let delay_max =
+    let doc = "Extra per-hop delay of the highest slot, in seconds." in
+    Arg.(value & opt float 0.05 & info [ "delay-max" ] ~docv:"S" ~doc)
+  in
+  Term.(
+    ret
+      (const explore_cmd $ strategy $ budget $ seed_arg $ approach_arg $ routers
+      $ clean $ desc_file $ sustain $ delay_slots $ delay_max $ telemetry_arg))
+
 (* ---- assembly ---- *)
 
 let cmds =
@@ -925,7 +1108,14 @@ let cmds =
            "Run a matrix of generated scenarios under all four approaches with the \
             invariant monitor, then shrink a seeded broken variant to a minimal \
             replayable reproduction")
-      scale_term ]
+      scale_term;
+    Cmd.v
+      (Cmd.info "explore"
+         ~doc:
+           "Systematically explore event interleavings (bounded DFS, PCT-style \
+            priorities, or a seeded random walk) under the invariant monitor, \
+            shrinking any violating schedule to a minimal replayable reproduction")
+      explore_term ]
 
 let () =
   let info =

@@ -213,14 +213,14 @@ type sweep_row = {
   mld_bytes_per_s : float;
 }
 
-let timer_sweep ?(trials = 8) ?(unsolicited = false) ?(tquery_values = [ 125.0; 60.0; 30.0; 10.0 ])
-    ?(jobs = 1) () =
+let timer_sweep ?(base_seed = 1000) ?(trials = 8) ?(unsolicited = false)
+    ?(tquery_values = [ 125.0; 60.0; 30.0; 10.0 ]) ?(jobs = 1) () =
   let run_trial ~tquery ~trial =
     let mld =
       { (Mld.Mld_config.with_query_interval tquery Mld.Mld_config.default) with
         unsolicited_report_count = (if unsolicited then 2 else 0) }
     in
-    let spec = { Scenario.default_spec with Scenario.mld; seed = 1000 + trial } in
+    let spec = { Scenario.default_spec with Scenario.mld; seed = base_seed + trial } in
     let scenario = Scenario.paper_figure1 spec in
     let metrics = Metrics.attach scenario.Scenario.net in
     let s = Scenario.host scenario "S" in

@@ -67,6 +67,7 @@ type sweep_row = {
 }
 
 val timer_sweep :
+  ?base_seed:int ->
   ?trials:int ->
   ?unsolicited:bool ->
   ?tquery_values:float list ->
@@ -76,9 +77,11 @@ val timer_sweep :
 (** For each TQuery value (default [125; 60; 30; 10] s, the paper's
     tuning direction), run several mobile-receiver handoffs with the
     handoff phase stratified across the query cycle and report
-    join/leave delays and MLD signalling cost.  [unsolicited] toggles
-    the paper's recommended unsolicited Reports (default off: the
-    pessimistic wait-for-Query behaviour the paper analyses). *)
+    join/leave delays and MLD signalling cost.  Trial [i] runs with
+    seed [base_seed + i] (default base 1000, the historical value the
+    published sweep numbers were produced with).  [unsolicited]
+    toggles the paper's recommended unsolicited Reports (default off:
+    the pessimistic wait-for-Query behaviour the paper analyses). *)
 
 (** {1 Section 4.3.1: mobile sender overheads} *)
 

@@ -133,6 +133,72 @@ let pop t =
     t.live <- t.live - 1;
     Some (e.time, e.payload)
 
+(* Remove the entry at heap index [i] (not necessarily the root),
+   restoring the heap invariant and aliasing the vacated slot like
+   [pop_entry]. *)
+let remove_at t arr i =
+  t.len <- t.len - 1;
+  if t.len = 0 then t.heap <- None
+  else begin
+    if i < t.len then begin
+      arr.(i) <- arr.(t.len);
+      arr.(t.len) <- arr.(i);
+      if i > 0 && entry_before arr.(i) arr.((i - 1) / 2) then sift_up arr i
+      else sift_down arr t.len i
+    end
+    else arr.(t.len) <- arr.(0)
+  end
+
+(* Live entries sharing the root's timestamp are not contiguous in a
+   heap, so the choice-point accessors scan the whole array.  They only
+   run on the explored schedule path, never on the default one. *)
+let front_count t =
+  drop_cancelled t;
+  match t.heap with
+  | None -> 0
+  | Some arr ->
+    if t.len = 0 then 0
+    else begin
+      let front = arr.(0) in
+      let n = ref 0 in
+      for i = 0 to t.len - 1 do
+        let x = arr.(i) in
+        if x.cell.status = Live && Time.compare x.time front.time = 0 then
+          incr n
+      done;
+      !n
+    end
+
+let pop_kth t k =
+  drop_cancelled t;
+  match t.heap with
+  | None -> None
+  | Some arr ->
+    if t.len = 0 then None
+    else if k = 0 then pop t
+    else begin
+      let front = arr.(0) in
+      let cands = ref [] in
+      for i = 0 to t.len - 1 do
+        let x = arr.(i) in
+        if x.cell.status = Live && Time.compare x.time front.time = 0 then
+          cands := (x, i) :: !cands
+      done;
+      let ties = Array.of_list !cands in
+      Array.sort
+        (fun ((a : _ entry), _) ((b : _ entry), _) -> compare a.seq b.seq)
+        ties;
+      if k < 0 || k >= Array.length ties then
+        invalid_arg
+          (Printf.sprintf "Event_queue.pop_kth: index %d out of %d front ties"
+             k (Array.length ties));
+      let x, i = ties.(k) in
+      remove_at t arr i;
+      x.cell.status <- Fired;
+      t.live <- t.live - 1;
+      Some (x.time, x.payload)
+    end
+
 let size t = t.live
 
 let is_empty t = t.live = 0

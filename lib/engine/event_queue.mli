@@ -1,8 +1,12 @@
 (** Priority queue of timestamped events with O(log n) insertion and
     extraction and O(1) cancellation (lazy deletion).
 
-    Events with equal timestamps are delivered in insertion order, which
-    keeps protocol traces deterministic.
+    {b Same-timestamp ordering contract} (shared with {!Wheel}, pinned
+    by golden trace digests): every push is stamped with a global,
+    monotonically increasing sequence number, and pops come out in
+    strictly increasing [(time, seq)] — events with equal timestamps
+    are delivered in insertion order.  {!pop_kth} is the only sanctioned
+    way to deviate, and then only among same-timestamp ties.
 
     The queue does no hashing: a handle is a one-word lifecycle cell
     shared with the heap entry, so the schedule/fire cycle costs one
@@ -28,7 +32,19 @@ val peek_time : 'a t -> Time.t option
 (** Timestamp of the earliest live event, if any. *)
 
 val pop : 'a t -> (Time.t * 'a) option
-(** Remove and return the earliest live event. *)
+(** Remove and return the earliest live event.  Equivalent to
+    [pop_kth t 0]. *)
+
+val front_count : 'a t -> int
+(** Number of live events sharing the earliest timestamp.  [0] iff the
+    queue is empty; [1] means the next pop is forced. *)
+
+val pop_kth : 'a t -> int -> (Time.t * 'a) option
+(** [pop_kth t k] removes and returns the [k]-th event (0-based, in
+    push order) among the live events sharing the earliest timestamp.
+    [pop_kth t 0] behaves exactly like {!pop}.  Handles of unchosen
+    ties stay live and cancellable.
+    @raise Invalid_argument if [k < 0] or [k >= front_count t]. *)
 
 val size : 'a t -> int
 (** Number of live (non-cancelled) events. *)

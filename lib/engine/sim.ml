@@ -9,12 +9,17 @@ type profiler = {
   cells : (string, profile_cell) Hashtbl.t;
 }
 
+type choice_kind = Order | Delay | Fault
+
+type decider = kind:choice_kind -> arity:int -> int
+
 type t = {
   mutable clock : Time.t;
   queue : (unit -> unit) Wheel.t;
   root_rng : Rng.t;
   mutable executed : int;
   mutable profiler : profiler option;
+  mutable decider : decider option;
 }
 
 let create ?(seed = 42) () =
@@ -22,7 +27,20 @@ let create ?(seed = 42) () =
     queue = Wheel.create ();
     root_rng = Rng.create seed;
     executed = 0;
-    profiler = None }
+    profiler = None;
+    decider = None }
+
+let set_decider t d = t.decider <- d
+let decider_active t = t.decider <> None
+
+let decide t ~kind ~arity =
+  if arity <= 1 then 0
+  else
+    match t.decider with
+    | None -> 0
+    | Some d ->
+      let c = d ~kind ~arity in
+      if c <= 0 then 0 else if c >= arity then arity - 1 else c
 
 let now t = t.clock
 let rng t = t.root_rng
@@ -75,14 +93,31 @@ let cancel t handle = Wheel.cancel t.queue handle
 
 let pending t = Wheel.size t.queue
 
+let fire t time f =
+  t.clock <- time;
+  t.executed <- t.executed + 1;
+  f ();
+  true
+
 let step t =
-  match Wheel.pop t.queue with
-  | None -> false
-  | Some (time, f) ->
-    t.clock <- time;
-    t.executed <- t.executed + 1;
-    f ();
-    true
+  match t.decider with
+  | None -> (
+    (* Default path: untouched, so golden traces are unaffected by the
+       existence of the choice hook. *)
+    match Wheel.pop t.queue with
+    | None -> false
+    | Some (time, f) -> fire t time f)
+  | Some _ -> (
+    (* Explored path: same-timestamp ties are a choice point.  The
+       decider is consulted only when the tie is real (arity > 1), so
+       decision sequences stay compact. *)
+    let n = Wheel.front_count t.queue in
+    if n = 0 then false
+    else
+      let k = decide t ~kind:Order ~arity:n in
+      match Wheel.pop_kth t.queue k with
+      | None -> false
+      | Some (time, f) -> fire t time f)
 
 let run ?until ?max_events t =
   let budget_exhausted () =

@@ -35,7 +35,15 @@ val pending : t -> int
 
 val step : t -> bool
 (** Execute the earliest event.  Returns [false] if the queue was
-    empty. *)
+    empty.
+
+    {b Same-timestamp ordering contract}: callbacks scheduled for the
+    same instant fire in scheduling order (the queue's global push
+    sequence breaks the tie — see {!Wheel.pop} and {!Event_queue.pop}).
+    When a decider is installed (see {!set_decider}) and several live
+    events share the earliest timestamp, the decider picks which fires
+    first instead; with no decider the default order is exact and the
+    fast pop path is untouched. *)
 
 val run : ?until:Time.t -> ?max_events:int -> t -> unit
 (** Drain the event queue.  With [until], stops once the next event
@@ -67,3 +75,35 @@ val disable_profiling : t -> unit
 
 val profile : t -> (string * category_profile) list
 (** Sorted by category name; empty when profiling is off. *)
+
+(** {2 Controlled nondeterminism}
+
+    A simulation's only sources of schedule freedom are (a) the order
+    in which same-timestamp events fire, (b) bounded extra per-hop
+    delivery delay ({!Net.Network}), and (c) fault placement jitter
+    ({!Faults}).  Installing a {e decider} routes every such choice
+    through one callback so a schedule explorer can enumerate, record,
+    and replay interleavings.  With no decider installed (the default)
+    every choice resolves to alternative [0] — the canonical schedule —
+    and the hot path is byte-identical to a build without the hook. *)
+
+type choice_kind =
+  | Order  (** which of [arity] same-timestamp ties fires first; index is ascending push order, [0] = canonical *)
+  | Delay  (** extra per-hop delivery delay slot; [0] = no extra delay *)
+  | Fault  (** crash/restart placement jitter slot; [0] = as specified *)
+
+type decider = kind:choice_kind -> arity:int -> int
+(** Must return an alternative in [\[0, arity)]; out-of-range values
+    are clamped.  Deciders are consulted only when [arity > 1], in a
+    deterministic order fixed by the simulation, so a recorded decision
+    sequence replays exactly. *)
+
+val set_decider : t -> decider option -> unit
+(** Install (or with [None] remove) the schedule decider. *)
+
+val decider_active : t -> bool
+
+val decide : t -> kind:choice_kind -> arity:int -> int
+(** Consult the installed decider; [0] when none is installed or
+    [arity <= 1].  Instrumented components (network delivery, fault
+    installation) call this at their choice points. *)

@@ -129,19 +129,8 @@ let rec sift_down arr len i =
     sift_down arr len smallest
   end
 
-let slot_push s entry =
-  let arr =
-    if s.len = Array.length s.arr then begin
-      let bigger = Array.make (max 4 (2 * s.len)) entry in
-      Array.blit s.arr 0 bigger 0 s.len;
-      s.arr <- bigger;
-      bigger
-    end
-    else s.arr
-  in
-  arr.(s.len) <- entry;
-  s.len <- s.len + 1;
-  let i = ref (s.len - 1) in
+let sift_up arr i =
+  let i = ref i in
   while
     !i > 0
     &&
@@ -154,6 +143,20 @@ let slot_push s entry =
     arr.(p) <- tmp;
     i := p
   done
+
+let slot_push s entry =
+  let arr =
+    if s.len = Array.length s.arr then begin
+      let bigger = Array.make (max 4 (2 * s.len)) entry in
+      Array.blit s.arr 0 bigger 0 s.len;
+      s.arr <- bigger;
+      bigger
+    end
+    else s.arr
+  in
+  arr.(s.len) <- entry;
+  s.len <- s.len + 1;
+  sift_up arr (s.len - 1)
 
 (* Pop the root; caller checked [len > 0].  Vacated cells are cleared
    (aliased to a still-live entry, or the whole array dropped) so a
@@ -169,6 +172,23 @@ let slot_pop s =
     sift_down arr s.len 0
   end;
   top
+
+(* Remove the entry at heap index [i] (not necessarily the root),
+   restoring the heap invariant and clearing the vacated cell like
+   [slot_pop].  Caller checked [i < s.len]. *)
+let slot_remove s i =
+  let arr = s.arr in
+  s.len <- s.len - 1;
+  if s.len = 0 then s.arr <- [||]
+  else begin
+    if i < s.len then begin
+      arr.(i) <- arr.(s.len);
+      arr.(s.len) <- arr.(i);
+      if i > 0 && entry_before arr.(i) arr.((i - 1) / 2) then sift_up arr i
+      else sift_down arr s.len i
+    end
+    else arr.(s.len) <- arr.(0)
+  end
 
 (* ---- placement ---- *)
 
@@ -438,3 +458,82 @@ let pop t =
 let size t = t.live
 
 let is_empty t = t.live = 0
+
+(* ---- choice points over the front ---- *)
+
+(* The slot where current placement logic would put quantum [q] (and
+   the level it sits at), or [None] when [q] lies beyond the wheel and
+   only the overflow heap can hold it.  Every live entry with quantum
+   [q] is either in this slot or in the overflow: placement is a pure
+   function of (q, windows), windows only advance at pops of the global
+   minimum, and [advance_to] cascades exactly the slots a new window
+   uncovers — so live entries never linger at a stale level above the
+   one this function reports (the header argument: skipped slots hold
+   only cancelled entries). *)
+let slot_of_quantum t q =
+  if q lsr bits0 = t.b0 then Some (t.l0.(q land ((1 lsl bits0) - 1)), 0)
+  else if q lsr (bits0 + bits1) = t.b1 then
+    Some (t.l1.((q lsr bits0) land ((1 lsl bits1) - 1)), 1)
+  else if q lsr (bits0 + bits1 + bits2) = t.b2 then
+    Some (t.l2.((q lsr (bits0 + bits1)) land ((1 lsl bits2) - 1)), 2)
+  else None
+
+(* Apply [f entry slot level heap_index] to every live entry whose
+   timestamp equals the front entry's.  Candidates live in the front
+   quantum's placement slot and (rarely) the overflow heap: equal times
+   share a quantum, so nothing else can hold one. *)
+let iter_front_ties t front f =
+  let scan s level =
+    for i = 0 to s.len - 1 do
+      let x = s.arr.(i) in
+      if x.cell.status = Live && Time.compare x.time front.time = 0 then
+        f x s level i
+    done
+  in
+  (match slot_of_quantum t front.q with
+   | Some (s, level) -> scan s level
+   | None -> ());
+  scan t.overflow 3
+
+let front_count t =
+  refresh_front t;
+  match t.front with
+  | None -> 0
+  | Some e ->
+    let n = ref 0 in
+    iter_front_ties t e (fun _ _ _ _ -> incr n);
+    !n
+
+let pop_kth t k =
+  refresh_front t;
+  match t.front with
+  | None -> None
+  | Some e ->
+    if k = 0 then pop t
+    else begin
+      let cands = ref [] in
+      iter_front_ties t e (fun x s level i -> cands := (x, s, level, i) :: !cands);
+      let arr = Array.of_list !cands in
+      Array.sort
+        (fun ((a : _ entry), _, _, _) ((b : _ entry), _, _, _) ->
+          compare a.seq b.seq)
+        arr;
+      if k < 0 || k >= Array.length arr then
+        invalid_arg
+          (Printf.sprintf "Wheel.pop_kth: index %d out of %d front ties" k
+             (Array.length arr));
+      let x, s, level, i = arr.(k) in
+      slot_remove s i;
+      (match level with
+       | 0 -> t.c0 <- t.c0 - 1
+       | 1 -> t.c1 <- t.c1 - 1
+       | 2 -> t.c2 <- t.c2 - 1
+       | _ -> ());
+      x.cell.status <- Fired;
+      t.live <- t.live - 1;
+      t.front <- None;
+      (* Advance after removal, matching [pop]'s floor semantics: the
+         popped quantum becomes the wheel floor. *)
+      advance_to t x.q;
+      Some (x.time, x.payload)
+    end

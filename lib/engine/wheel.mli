@@ -38,7 +38,30 @@ val peek_time : 'a t -> Time.t option
 (** Timestamp of the earliest live event, if any. *)
 
 val pop : 'a t -> (Time.t * 'a) option
-(** Remove and return the earliest live event. *)
+(** Remove and return the earliest live event.
+
+    {b Same-timestamp ordering contract} (shared with {!Event_queue},
+    pinned by golden trace digests): every push is stamped with a
+    global, monotonically increasing sequence number, and pops come
+    out in strictly increasing [(time, seq)] — events with equal
+    timestamps are delivered in push order, regardless of which slot,
+    level, or overflow heap physically holds them.  [pop] is
+    equivalent to [pop_kth t 0]. *)
+
+val front_count : 'a t -> int
+(** Number of live events sharing the earliest timestamp — the arity
+    of the schedule choice the next pop represents.  [0] iff the wheel
+    is empty; [1] means the next pop is forced. *)
+
+val pop_kth : 'a t -> int -> (Time.t * 'a) option
+(** [pop_kth t k] removes and returns the [k]-th event (0-based, in
+    global push order) among the live events sharing the earliest
+    timestamp — the controlled-nondeterminism hook: a schedule
+    explorer may deliver same-timestamp ties in any order, and every
+    such order is legal for the protocols under test (see
+    PROTOCOLS.md).  [pop_kth t 0] behaves exactly like {!pop}.
+    Handles of unchosen ties stay live and cancellable.
+    @raise Invalid_argument if [k < 0] or [k >= front_count t]. *)
 
 val size : 'a t -> int
 (** Number of live (non-cancelled) events. *)

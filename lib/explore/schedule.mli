@@ -1,0 +1,36 @@
+(** Serialized schedule descriptors (schema ["mmcast-schedule/1"]).
+
+    A descriptor is the compact, replay-deterministic record of one
+    explored interleaving: the sparse decision sequence the strategy
+    realized ({!Scale.Runner.schedule}) plus its provenance (strategy
+    name, seed, run index).  Feeding [sc_sched] back through
+    {!Scale.Runner.run} replays the exact interleaving; serializing,
+    reloading, and replaying yields a byte-identical
+    {!Engine.Trace.digest} (pinned by [test_explore]). *)
+
+type t = {
+  sc_strategy : string;  (** strategy that produced it; ["canonical"] for the default schedule *)
+  sc_seed : int;  (** strategy seed *)
+  sc_index : int;  (** 0-based run index within the strategy's sequence *)
+  sc_length : int;  (** choice points consulted during the recorded run *)
+  sc_sched : Scale.Runner.schedule;  (** the replayable decision record *)
+}
+
+val schema : string
+(** ["mmcast-schedule/1"]. *)
+
+val canonical : t
+(** The default schedule: no deviations, no delay exploration. *)
+
+val is_canonical : t -> bool
+(** No recorded deviation from the default interleaving. *)
+
+val to_json : t -> Obs.Json.t
+val of_json : Obs.Json.t -> (t, string) result
+
+val digest : t -> string
+(** md5 hex of the canonical JSON serialization. *)
+
+val summary : t -> string
+(** One-line human summary, e.g.
+    ["pct#137 (seed 42): 3 deviations over 812 choice points"]. *)

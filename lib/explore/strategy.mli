@@ -1,0 +1,56 @@
+(** Pluggable schedule-search strategies.
+
+    A strategy produces, per run, a decider ({!Engine.Sim.decider}) that
+    resolves every engine choice point — same-timestamp tie-breaks,
+    per-hop delay slots, crash placement — as the simulation consults
+    them.  All three built-ins are deterministic functions of
+    [(base seed, run index)], so any run they produce can be replayed
+    from its recorded decision sequence alone ({!Schedule}).
+
+    - {!dfs}: exhaustive depth-first enumeration of the choice tree
+      under depth and branch bounds.  Choice points beyond the forced
+      prefix resolve canonically; after each run the deepest
+      non-exhausted position is advanced.  The only strategy that can
+      {e exhaust} (report the bounded space fully covered).
+    - {!pct}: PCT-style randomized priorities — each run draws a random
+      priority vector over alternative indices plus [depth - 1] change
+      points at which priorities are reshuffled; each choice picks the
+      offered alternative with the best current priority.  Good
+      violation-finding probability at low depth.
+    - {!walk}: uniform seeded random walk — each choice uniform over
+      its arity.  The cheapest baseline and the default for soak-style
+      breadth. *)
+
+type t
+
+val dfs : ?max_depth:int -> ?max_branch:int -> unit -> t
+(** Bounds: positions at depth >= [max_depth] (default 48) and
+    alternatives >= [max_branch] (default 4) are never explored. *)
+
+val pct : ?depth:int -> unit -> t
+(** [depth] (default 3) is the PCT depth parameter: number of priority
+    segments per run ([depth - 1] change points). *)
+
+val walk : unit -> t
+
+val name : t -> string
+(** ["dfs"], ["pct"], or ["walk"]. *)
+
+val of_name : string -> t option
+(** Strategy with default parameters from its name. *)
+
+val all_names : string list
+
+val next :
+  t -> seed:int -> run_index:int ->
+  (kind:Engine.Sim.choice_kind -> arity:int -> int) option
+(** The decider for run [run_index], or [None] when the strategy has
+    exhausted its bounded search space (DFS only).  The returned
+    decider is stateful — use it for exactly one run, then call
+    {!note_result}. *)
+
+val note_result : t -> distinct:bool -> unit
+(** Feed back whether the just-finished run reached a previously unseen
+    trace digest.  DFS uses it to prune: a revisited state is not
+    extended deeper than the forced prefix.  Must be called exactly
+    once after each run whose decider {!next} returned. *)

@@ -261,6 +261,36 @@ let install net ~handlers schedule =
         at from_t (fun () -> List.iter (fun l -> Network.set_link_up net l false) links);
         at until (fun () -> List.iter (fun l -> Network.set_link_up net l true) links)
       | Crash { node; at = crash_at; recover_at } -> (
+        (* Schedule exploration: crash/restart placement is a choice
+           point.  Slot 0 keeps the specified instants (the canonical
+           schedule); higher slots nudge the crash later — capped at
+           half the outage so the crash still precedes recovery — and
+           stretch the outage, probing races between failure placement
+           and protocol timers.  Consulted at install time, before the
+           simulation runs, in schedule order, so a recorded decision
+           sequence replays exactly. *)
+        let crash_at, recover_at =
+          if Engine.Sim.decider_active sim then begin
+            let offs = [| 0.0; 0.25; 0.75; 2.0 |] in
+            let k =
+              Engine.Sim.decide sim ~kind:Engine.Sim.Fault
+                ~arity:(Array.length offs)
+            in
+            let off =
+              match recover_at with
+              | None -> offs.(k)
+              | Some r -> min offs.(k) ((r -. crash_at) /. 2.0)
+            in
+            let stretch = [| 0.0; 0.5; 1.5 |] in
+            let j =
+              Engine.Sim.decide sim ~kind:Engine.Sim.Fault
+                ~arity:(Array.length stretch)
+            in
+            ( Engine.Time.add crash_at off,
+              Option.map (fun r -> Engine.Time.add r stretch.(j)) recover_at )
+          end
+          else (crash_at, recover_at)
+        in
         at crash_at (fun () ->
             tracef "crash %s" (Topology.node_name topo node);
             handlers.crash_node node);

@@ -129,6 +129,13 @@ val install : Network.t -> handlers:handlers -> schedule -> t
     wire-check delivery mode for the whole run (corruption needs
     byte-exact frames to damage).  Every applied change is recorded in
     the network trace under category ["fault"].
+
+    When the simulator has a decider installed
+    ({!Engine.Sim.set_decider}), each [Crash] spec consults two [Fault]
+    choice points at install time: one nudges the crash instant later
+    (capped so it still precedes recovery), one stretches the outage.
+    Slot 0 of both keeps the specified placement, so with no decider
+    the schedule is applied exactly as written.
     @raise Invalid_argument if the schedule is invalid or starts in the
     simulator's past. *)
 

@@ -85,6 +85,11 @@ type t = {
   mutable wire_check : bool;
   malformed : (Node_id.t, int ref) Hashtbl.t;
   mutable malformed_total : int;
+  (* Schedule exploration: when [delay_slots > 1] and the simulator has
+     a decider installed, every per-receiver delivery consults a Delay
+     choice point and slot k adds k·[delay_step] of extra latency. *)
+  mutable delay_slots : int;
+  mutable delay_step : Engine.Time.t;
 }
 
 let create sim topology =
@@ -113,7 +118,17 @@ let create sim topology =
     blocked = 0;
     wire_check = false;
     malformed = Hashtbl.create 8;
-    malformed_total = 0 }
+    malformed_total = 0;
+    delay_slots = 1;
+    delay_step = 0.0 }
+
+let set_delay_exploration t ~slots ~max_extra =
+  if slots < 1 then invalid_arg "Network.set_delay_exploration: slots < 1";
+  if max_extra < 0.0 then
+    invalid_arg "Network.set_delay_exploration: negative max_extra";
+  t.delay_slots <- slots;
+  t.delay_step <-
+    (if slots <= 1 then 0.0 else max_extra /. float_of_int (slots - 1))
 
 let sim t = t.sim
 let topology t = t.topology
@@ -345,6 +360,17 @@ let transmit t ~from ~link dest packet =
             Engine.Time.add base_delay
               (Engine.Rng.float t.reorder_rng (Engine.Time.seconds c.reorder_jitter))
           | Some _ | None -> base_delay
+        in
+        let delay =
+          if t.delay_slots > 1 && Engine.Sim.decider_active t.sim then begin
+            let k =
+              Engine.Sim.decide t.sim ~kind:Engine.Sim.Delay
+                ~arity:t.delay_slots
+            in
+            if k = 0 then delay
+            else Engine.Time.add delay (t.delay_step *. float_of_int k)
+          end
+          else delay
         in
         schedule to_node delay;
         match cond with

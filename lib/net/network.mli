@@ -115,6 +115,16 @@ val malformed_drops : t -> Ids.Node_id.t -> int
 
 val total_malformed_drops : t -> int
 
+val set_delay_exploration : t -> slots:int -> max_extra:Engine.Time.t -> unit
+(** Schedule exploration: when [slots > 1] {e and} the simulator has a
+    decider installed ({!Engine.Sim.set_decider}), every per-receiver
+    delivery consults a [Delay] choice point of arity [slots]; choosing
+    slot [k] adds [k * max_extra / (slots - 1)] of extra latency on top
+    of the computed link delay (slot 0 = the canonical delay).  With no
+    decider, or [slots = 1] (the default), delivery timing is
+    untouched.
+    @raise Invalid_argument if [slots < 1] or [max_extra < 0]. *)
+
 val set_link_up : t -> Ids.Link_id.t -> bool -> unit
 (** Link flap: while a link is down, transmissions onto it are blocked
     (silently for the sender, as a real carrier loss would be to these

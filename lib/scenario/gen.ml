@@ -217,3 +217,10 @@ let broken ?(routers = 5) ~seed () =
     d_duration = 60.0;
     d_traffic = { Desc.tr_from = 5.0; tr_until = 55.0; tr_interval = 0.5; tr_bytes = 256 };
     d_disable_graft = true }
+
+let clean ?routers ~seed () =
+  let d = broken ?routers ~seed () in
+  { d with
+    Desc.d_name =
+      Printf.sprintf "clean-graft-r%d-s%d" (List.length d.Desc.d_routers) seed;
+    d_disable_graft = false }

@@ -44,3 +44,11 @@ val broken : ?routers:int -> seed:int -> unit -> Desc.t
     join that can only be served by a Graft.  Padded with churn and
     fault noise the shrinker must strip: the minimal reproduction is a
     single join event and an empty fault schedule. *)
+
+val clean : ?routers:int -> seed:int -> unit -> Desc.t
+(** {!broken}'s graft-enabled twin: the identical topology, churn,
+    traffic, and fault schedule, with grafts working.  The schedule
+    explorer uses it as a should-pass target — it exercises the exact
+    prune/graft/assert/handover interplay the broken variant breaks, so
+    surviving an exploration budget on it is evidence the protocols
+    tolerate every explored interleaving, not just the canonical one. *)

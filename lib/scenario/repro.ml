@@ -6,11 +6,14 @@ type t = {
   rp_approach : Mmcast.Approach.t;
   rp_invariant : Monitor.invariant;
   rp_sustain : Engine.Time.t;
+  rp_sched : Runner.schedule;
   rp_detail : string;
   rp_trace : string list;
 }
 
-let schema = "mmcast-repro/1"
+let schema = "mmcast-repro/2"
+
+let schema_v1 = "mmcast-repro/1"
 
 let violation_matching inv outcome =
   List.find_opt (fun v -> v.Monitor.v_invariant = inv) outcome.Runner.out_violations
@@ -24,10 +27,10 @@ let render_trace records =
         r.Engine.Trace.message)
     records
 
-let of_shrink (sh : Shrink.result) ~sustain =
-  let outcome = Runner.run ~sustain sh.Shrink.sh_min sh.Shrink.sh_approach in
+let capture ~desc ~approach ~invariant ~sustain ~sched =
+  let outcome = Runner.run ~sustain ~sched desc approach in
   let detail, trace =
-    match violation_matching sh.Shrink.sh_invariant outcome with
+    match violation_matching invariant outcome with
     | Some v ->
       ( Printf.sprintf "%s at t=%.1f on %s: %s"
           (Monitor.invariant_name v.Monitor.v_invariant)
@@ -35,12 +38,61 @@ let of_shrink (sh : Shrink.result) ~sustain =
         render_trace v.Monitor.v_trace )
     | None -> ("minimum did not re-violate at capture time", [])
   in
-  { rp_desc = sh.Shrink.sh_min;
-    rp_approach = sh.Shrink.sh_approach;
-    rp_invariant = sh.Shrink.sh_invariant;
+  { rp_desc = desc;
+    rp_approach = approach;
+    rp_invariant = invariant;
     rp_sustain = sustain;
+    rp_sched = sched;
     rp_detail = detail;
     rp_trace = trace }
+
+let of_shrink (sh : Shrink.result) ~sustain =
+  capture ~desc:sh.Shrink.sh_min ~approach:sh.Shrink.sh_approach
+    ~invariant:sh.Shrink.sh_invariant ~sustain
+    ~sched:Runner.canonical_schedule
+
+let of_schedule_shrink (ss : Shrink.schedule_result) ~desc ~sustain =
+  capture ~desc ~approach:ss.Shrink.ss_approach
+    ~invariant:ss.Shrink.ss_invariant ~sustain ~sched:ss.Shrink.ss_sched
+
+let sched_to_json (s : Runner.schedule) =
+  Json.Obj
+    [ ( "choices",
+        Json.List
+          (List.map
+             (fun (i, c) -> Json.List [ Json.Int i; Json.Int c ])
+             s.Runner.sched_choices) );
+      ("delay_slots", Json.Int s.Runner.sched_delay_slots);
+      ("delay_max_s", Json.float s.Runner.sched_delay_max) ]
+
+let sched_of_json j =
+  let ( let* ) = Result.bind in
+  let field name conv =
+    match Option.bind (Json.member name j) conv with
+    | Some v -> Ok v
+    | None ->
+      Error (Printf.sprintf "schedule: missing or ill-typed field %S" name)
+  in
+  let* choices = field "choices" Json.to_list_opt in
+  let* sched_choices =
+    List.fold_left
+      (fun acc pair ->
+        let* rev = acc in
+        match Json.to_list_opt pair with
+        | Some [ i; c ] -> (
+          match (Json.to_int_opt i, Json.to_int_opt c) with
+          | Some i, Some c -> Ok ((i, c) :: rev)
+          | _ -> Error "schedule: non-integer choice pair")
+        | _ -> Error "schedule: choice is not an [index, alternative] pair")
+      (Ok []) choices
+    |> Result.map List.rev
+  in
+  let* sched_delay_slots = field "delay_slots" Json.to_int_opt in
+  let* sched_delay_max = field "delay_max_s" Json.to_float_opt in
+  if sched_delay_slots < 1 then Error "schedule: delay_slots < 1"
+  else
+    Ok
+      { Runner.sched_choices; sched_delay_slots; sched_delay_max }
 
 let to_json t =
   Json.Obj
@@ -48,6 +100,7 @@ let to_json t =
       ("approach", Json.Int (Mmcast.Approach.number t.rp_approach));
       ("invariant", Json.String (Monitor.invariant_name t.rp_invariant));
       ("sustain_s", Json.float t.rp_sustain);
+      ("schedule", sched_to_json t.rp_sched);
       ("detail", Json.String t.rp_detail);
       ("scenario", Desc.to_json t.rp_desc);
       ("scenario_digest", Json.String (Desc.digest t.rp_desc));
@@ -61,7 +114,8 @@ let of_json j =
     | None -> Error (Printf.sprintf "repro: missing or ill-typed field %S" name)
   in
   let* s = field "schema" Json.to_string_opt in
-  if not (String.equal s schema) then Error (Printf.sprintf "repro: schema %S is not %S" s schema)
+  if not (String.equal s schema || String.equal s schema_v1) then
+    Error (Printf.sprintf "repro: schema %S is not %S (or %S)" s schema schema_v1)
   else
     let* n = field "approach" Json.to_int_opt in
     let* rp_approach =
@@ -75,6 +129,12 @@ let of_json j =
         (Monitor.invariant_of_name inv_name)
     in
     let* rp_sustain = field "sustain_s" Json.to_float_opt in
+    (* v1 bundles predate pinned interleavings: canonical schedule. *)
+    let* rp_sched =
+      match Json.member "schedule" j with
+      | None -> Ok Runner.canonical_schedule
+      | Some sj -> sched_of_json sj
+    in
     let* rp_detail = field "detail" Json.to_string_opt in
     let* scenario =
       Option.to_result ~none:"repro: missing field \"scenario\"" (Json.member "scenario" j)
@@ -90,7 +150,7 @@ let of_json j =
         (Ok []) trace
       |> Result.map List.rev
     in
-    Ok { rp_desc; rp_approach; rp_invariant; rp_sustain; rp_detail; rp_trace }
+    Ok { rp_desc; rp_approach; rp_invariant; rp_sustain; rp_sched; rp_detail; rp_trace }
 
 let ensure_dir dir = if not (Sys.file_exists dir) then Unix.mkdir dir 0o755
 
@@ -107,6 +167,8 @@ let write t ~dir =
   Obs.Manifest.add_int manifest "approach" (Mmcast.Approach.number t.rp_approach);
   Obs.Manifest.add_string manifest "invariant" (Monitor.invariant_name t.rp_invariant);
   Obs.Manifest.add_float manifest "sustain_s" t.rp_sustain;
+  Obs.Manifest.add_int manifest "schedule_choices"
+    (List.length t.rp_sched.Runner.sched_choices);
   Obs.Manifest.add manifest "size" (Json.String (Desc.size_summary t.rp_desc));
   Obs.Manifest.add_output manifest ~kind:"repro" path;
   Obs.Manifest.write manifest
@@ -127,7 +189,9 @@ let load path =
     | Ok j -> of_json j)
 
 let replay t =
-  let outcome = Runner.run ~sustain:t.rp_sustain t.rp_desc t.rp_approach in
+  let outcome =
+    Runner.run ~sustain:t.rp_sustain ~sched:t.rp_sched t.rp_desc t.rp_approach
+  in
   List.filter
     (fun v -> v.Monitor.v_invariant = t.rp_invariant)
     outcome.Runner.out_violations

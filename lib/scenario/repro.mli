@@ -14,15 +14,27 @@ type t = {
   rp_approach : Mmcast.Approach.t;
   rp_invariant : Check.Monitor.invariant;
   rp_sustain : Engine.Time.t;
+  rp_sched : Runner.schedule;
+      (** the pinned interleaving the replay must use;
+          {!Runner.canonical_schedule} for pure scenario repros *)
   rp_detail : string;  (** human-readable summary of the violation *)
   rp_trace : string list;  (** rendered trace excerpt, oldest first *)
 }
 
 val schema : string
-(** ["mmcast-repro/1"]. *)
+(** ["mmcast-repro/2"].  [of_json] also accepts ["mmcast-repro/1"]
+    bundles, which predate pinned interleavings and load with the
+    canonical schedule. *)
 
 val of_shrink : Shrink.result -> sustain:Engine.Time.t -> t
 (** Re-runs the minimum once to capture the violation detail and trace
+    excerpt. *)
+
+val of_schedule_shrink :
+  Shrink.schedule_result -> desc:Desc.t -> sustain:Engine.Time.t -> t
+(** Bundle a minimized violating interleaving ({!Shrink.minimize_schedule})
+    on the fixed descriptor it was found on; re-runs it once under the
+    pinned schedule to capture the violation detail and trace
     excerpt. *)
 
 val to_json : t -> Obs.Json.t
@@ -35,6 +47,6 @@ val write : t -> dir:string -> string
 val load : string -> (t, string) result
 
 val replay : t -> Check.Monitor.violation list
-(** Run the bundled descriptor with the bundled sustain and return the
-    violations matching the bundled invariant — non-empty iff the
-    reproduction still reproduces. *)
+(** Run the bundled descriptor with the bundled sustain {e and the
+    bundled schedule} and return the violations matching the bundled
+    invariant — non-empty iff the reproduction still reproduces. *)

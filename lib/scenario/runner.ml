@@ -11,7 +11,35 @@ type outcome = {
   out_samples : int;
   out_bound : Engine.Time.t;
   out_violations : Monitor.violation list;
+  out_digest : string;
 }
+
+type schedule = {
+  sched_choices : (int * int) list;
+  sched_delay_slots : int;
+  sched_delay_max : Engine.Time.t;
+}
+
+let canonical_schedule =
+  { sched_choices = []; sched_delay_slots = 1; sched_delay_max = 0.0 }
+
+let decider_of_choices choices =
+  let remaining = ref choices in
+  let pos = ref 0 in
+  fun ~kind:_ ~arity ->
+    let p = !pos in
+    incr pos;
+    let rec take () =
+      match !remaining with
+      | (i, _) :: rest when i < p ->
+        remaining := rest;
+        take ()
+      | (i, c) :: rest when i = p ->
+        remaining := rest;
+        if c <= 0 then 0 else if c >= arity then arity - 1 else c
+      | _ -> 0
+    in
+    take ()
 
 let spec_for (d : Desc.t) approach =
   { Scenario.default_spec with
@@ -48,7 +76,7 @@ let compile_faults scenario (d : Desc.t) =
         Faults.crash ~node ~at ~recover_at ())
     d.Desc.d_faults
 
-let run ?sustain (d : Desc.t) approach =
+let run ?sustain ?sched ?decider (d : Desc.t) approach =
   (match Desc.validate d with
   | Ok () -> ()
   | Error msg -> invalid_arg (Printf.sprintf "Runner.run: %s: %s" d.Desc.d_name msg));
@@ -58,6 +86,23 @@ let run ?sustain (d : Desc.t) approach =
     Scenario.build spec ~links:d.Desc.d_links ~routers:d.Desc.d_routers
       ~hosts:d.Desc.d_hosts
   in
+  (* The decider must be in place before fault installation (crash
+     placement consults it) and before any event runs. *)
+  let sch = Option.value sched ~default:canonical_schedule in
+  let decide =
+    match decider with
+    | Some _ -> decider
+    | None ->
+      if sch.sched_choices = [] && sch.sched_delay_slots <= 1 then None
+      else Some (decider_of_choices sch.sched_choices)
+  in
+  (match decide with
+  | None -> ()
+  | Some de ->
+    Engine.Sim.set_decider scenario.Scenario.sim (Some de);
+    if sch.sched_delay_slots > 1 then
+      Net.Network.set_delay_exploration scenario.Scenario.net
+        ~slots:sch.sched_delay_slots ~max_extra:sch.sched_delay_max);
   let faults = Scenario.install_faults scenario (compile_faults scenario d) in
   let config =
     match sustain with
@@ -106,6 +151,7 @@ let run ?sustain (d : Desc.t) approach =
     out_duplicates = sum Host_stack.duplicate_count;
     out_samples = Monitor.samples monitor;
     out_bound = Monitor.bound monitor;
-    out_violations = Monitor.violations monitor }
+    out_violations = Monitor.violations monitor;
+    out_digest = Engine.Trace.digest (Net.Network.trace scenario.Scenario.net) }
 
 let passed o = o.out_violations = []

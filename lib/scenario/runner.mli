@@ -11,7 +11,42 @@ type outcome = {
   out_samples : int;
   out_bound : Engine.Time.t;  (** monitor convergence bound in force *)
   out_violations : Check.Monitor.violation list;
+  out_digest : string;
+      (** {!Engine.Trace.digest} of the run's network trace — a compact
+          fingerprint of the realized schedule, used by the explorer to
+          count distinct interleavings and prune revisited states *)
 }
+
+(** {2 Pinned interleavings}
+
+    A [schedule] fixes one resolution of every choice point the engine
+    exposes ({!Engine.Sim.set_decider}): same-timestamp tie-breaks,
+    extra per-hop delivery delay, and crash placement.  The canonical
+    schedule — every choice 0 — reproduces the default deterministic
+    run exactly. *)
+
+type schedule = {
+  sched_choices : (int * int) list;
+      (** sparse decision sequence: [(i, c)] means the [i]-th consulted
+          choice point (0-based) resolves to alternative [c]; positions
+          absent from the list resolve to 0.  Must be sorted ascending
+          by position with [c > 0]. *)
+  sched_delay_slots : int;
+      (** arity of per-hop delivery-delay choice points; [1] disables
+          them (see {!Net.Network.set_delay_exploration}) *)
+  sched_delay_max : Engine.Time.t;
+      (** extra delay of the highest slot; slot [k] adds
+          [k * max / (slots - 1)] *)
+}
+
+val canonical_schedule : schedule
+
+val decider_of_choices :
+  (int * int) list -> kind:Engine.Sim.choice_kind -> arity:int -> int
+(** A stateful replay decider over a sparse decision sequence: the
+    [i]-th call returns the choice recorded at position [i] (clamped to
+    the offered arity), or 0 when none was.  {b One decider per run} —
+    the position counter does not reset. *)
 
 val spec_for : Desc.t -> Mmcast.Approach.t -> Mmcast.Scenario.spec
 (** The soak-tightened protocol configuration (15 s MLD queries, 40 s
@@ -22,11 +57,24 @@ val spec_for : Desc.t -> Mmcast.Approach.t -> Mmcast.Scenario.spec
 val groups_of : Desc.t -> int list
 (** Sorted distinct group indices referenced by senders and events. *)
 
-val run : ?sustain:Engine.Time.t -> Desc.t -> Mmcast.Approach.t -> outcome
+val run :
+  ?sustain:Engine.Time.t ->
+  ?sched:schedule ->
+  ?decider:(kind:Engine.Sim.choice_kind -> arity:int -> int) ->
+  Desc.t ->
+  Mmcast.Approach.t ->
+  outcome
 (** Build the network, install the fault schedule, attach the monitor
     (with [sustain] overriding its convergence bound when given — the
     shrinker uses a short one), schedule the churn events and senders,
     and run to the descriptor's duration.
+
+    [sched] pins the interleaving: its choices drive every engine
+    choice point and its delay parameters configure per-hop delay
+    exploration.  [decider] overrides the choice source (a live search
+    strategy); delay parameters still come from [sched].  With
+    neither, the canonical deterministic schedule runs and no decider
+    is installed — the default fast path.
     @raise Invalid_argument if {!Desc.validate} rejects the
     descriptor. *)
 

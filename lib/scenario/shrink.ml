@@ -234,3 +234,76 @@ let minimize ?(budget = 150) ?(sustain = 10.0) d approach =
           sh_invariant = inv;
           sh_approach = approach }
   end
+
+(* ---- schedule minimization ---- *)
+
+type schedule_result = {
+  ss_sched : Runner.schedule;
+  ss_runs : int;
+  ss_invariant : Monitor.invariant;
+  ss_approach : Mmcast.Approach.t;
+}
+
+let minimize_schedule ?(budget = 80) ?(sustain = 10.0) d approach
+    (sched : Runner.schedule) =
+  let runs = ref 0 in
+  let cache : (string, bool) Hashtbl.t = Hashtbl.create 64 in
+  let target = ref None in
+  let best = ref sched.Runner.sched_choices in
+  let key choices =
+    String.concat ";"
+      (List.map (fun (i, c) -> Printf.sprintf "%d:%d" i c) choices)
+  in
+  (* Dropping an element of the sparse decision list is exactly "resolve
+     that choice point canonically", so plain list ddmin over the
+     choices is schedule minimization: the scenario stays fixed (editing
+     it would shift choice-point positions and invalidate the rest of
+     the schedule) and only the deviations from the canonical
+     interleaving shrink. *)
+  let reproduces choices =
+    let k = key choices in
+    match Hashtbl.find_opt cache k with
+    | Some hit -> hit
+    | None ->
+      if !runs >= budget then raise Budget_exhausted;
+      incr runs;
+      let outcome =
+        Runner.run ~sustain
+          ~sched:{ sched with Runner.sched_choices = choices }
+          d approach
+      in
+      let hit =
+        match !target with
+        | None -> (
+          match outcome.Runner.out_violations with
+          | [] -> false
+          | v :: _ ->
+            target := Some v.Monitor.v_invariant;
+            true)
+        | Some inv ->
+          List.exists
+            (fun v -> v.Monitor.v_invariant = inv)
+            outcome.Runner.out_violations
+      in
+      Hashtbl.replace cache k hit;
+      if hit && List.length choices < List.length !best then best := choices;
+      hit
+  in
+  if not (try reproduces sched.Runner.sched_choices with Budget_exhausted -> false)
+  then None
+  else begin
+    (try ignore (ddmin reproduces sched.Runner.sched_choices)
+     with Budget_exhausted -> ());
+    match !target with
+    | None -> None
+    | Some inv ->
+      let min_sched =
+        if !best = [] then Runner.canonical_schedule
+        else { sched with Runner.sched_choices = !best }
+      in
+      Some
+        { ss_sched = min_sched;
+          ss_runs = !runs;
+          ss_invariant = inv;
+          ss_approach = approach }
+  end

@@ -28,3 +28,34 @@ val minimize :
     (default 10 s) overrides the monitor's convergence bound so each
     oracle run stays cheap; it is the same override a replay must use
     ({!Repro}). *)
+
+(** {2 Schedule minimization}
+
+    The same ddmin machinery applied to a violating {e interleaving}
+    instead of a violating scenario: dropping an element of the sparse
+    decision list ({!Runner.schedule}) resolves that choice point
+    canonically, so the minimum is the smallest set of deviations from
+    the canonical schedule that still triggers the violation.  The
+    scenario itself is held fixed — editing it would renumber the
+    choice points and invalidate the remaining decisions. *)
+
+type schedule_result = {
+  ss_sched : Runner.schedule;
+      (** minimized; normalized to {!Runner.canonical_schedule} when no
+          deviation is needed (the scenario violates on its own) *)
+  ss_runs : int;  (** oracle executions spent *)
+  ss_invariant : Check.Monitor.invariant;  (** the violation preserved *)
+  ss_approach : Mmcast.Approach.t;
+}
+
+val minimize_schedule :
+  ?budget:int ->
+  ?sustain:Engine.Time.t ->
+  Desc.t ->
+  Mmcast.Approach.t ->
+  Runner.schedule ->
+  schedule_result option
+(** [None] when the schedule does not reproduce a violation on this
+    descriptor.  [budget] caps oracle runs (default 80); on exhaustion
+    the smallest reproducing choice list found so far is returned.
+    Oracle results are memoized by choice list. *)

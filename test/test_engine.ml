@@ -253,6 +253,134 @@ let wheel_properties =
   in
   List.map QCheck_alcotest.to_alcotest [ wheel_matches_heap ]
 
+(* Satellite of the schedule-exploration work: the same-timestamp
+   ordering contract (pops strictly increasing in (time, push seq)) and
+   its sanctioned deviation [pop_kth] must agree between the two
+   implementations under arbitrary interleavings of pushes, cancels and
+   tie-indexed pops. *)
+let tie_break_tests =
+  let unit_tests =
+    [ Alcotest.test_case "front_count counts only live front ties" `Quick
+        (fun () ->
+          let w = Wheel.create () in
+          let q = Event_queue.create () in
+          let wh = List.init 5 (fun i -> Wheel.push w 7.25 i) in
+          let qh = List.init 5 (fun i -> Event_queue.push q 7.25 i) in
+          ignore (Wheel.push w 9.0 99);
+          ignore (Event_queue.push q 9.0 99);
+          Wheel.cancel w (List.nth wh 2);
+          Event_queue.cancel q (List.nth qh 2);
+          Alcotest.(check int) "wheel" 4 (Wheel.front_count w);
+          Alcotest.(check int) "heap" 4 (Event_queue.front_count q));
+      Alcotest.test_case "pop_kth picks the k-th tie by push order" `Quick
+        (fun () ->
+          let w = Wheel.create () in
+          let q = Event_queue.create () in
+          let wh = List.init 5 (fun i -> Wheel.push w 7.25 i) in
+          let qh = List.init 5 (fun i -> Event_queue.push q 7.25 i) in
+          Wheel.cancel w (List.nth wh 2);
+          Event_queue.cancel q (List.nth qh 2);
+          (* Live ties by push order: 0, 1, 3, 4 — the 2nd is id 3. *)
+          Alcotest.(check (option (pair (float 1e-9) int)))
+            "wheel kth" (Some (7.25, 3)) (Wheel.pop_kth w 2);
+          Alcotest.(check (option (pair (float 1e-9) int)))
+            "heap kth" (Some (7.25, 3)) (Event_queue.pop_kth q 2);
+          (* Remaining ties 0, 1, 4 keep popping in push order. *)
+          Alcotest.(check (list (pair (float 1e-9) int)))
+            "wheel rest"
+            [ (7.25, 0); (7.25, 1); (7.25, 4) ]
+            (List.filter_map (fun _ -> Wheel.pop w) [ (); (); () ]);
+          Alcotest.(check (list (pair (float 1e-9) int)))
+            "heap rest"
+            [ (7.25, 0); (7.25, 1); (7.25, 4) ]
+            (List.filter_map (fun _ -> Event_queue.pop q) [ (); (); () ]));
+      Alcotest.test_case "pop_kth 0 is pop; out-of-range raises" `Quick
+        (fun () ->
+          let w = Wheel.create () in
+          let q = Event_queue.create () in
+          Alcotest.(check (option (pair (float 1e-9) int)))
+            "empty wheel" None (Wheel.pop_kth w 0);
+          Alcotest.(check (option (pair (float 1e-9) int)))
+            "empty heap" None (Event_queue.pop_kth q 0);
+          ignore (Wheel.push w 3.0 1);
+          ignore (Wheel.push w 3.0 2);
+          ignore (Event_queue.push q 3.0 1);
+          ignore (Event_queue.push q 3.0 2);
+          Alcotest.(check (option (pair (float 1e-9) int)))
+            "wheel k=0 = pop" (Some (3.0, 1)) (Wheel.pop_kth w 0);
+          Alcotest.(check (option (pair (float 1e-9) int)))
+            "heap k=0 = pop" (Some (3.0, 1)) (Event_queue.pop_kth q 0);
+          (try
+             ignore (Wheel.pop_kth w 5);
+             Alcotest.fail "wheel accepted out-of-range k"
+           with Invalid_argument _ -> ());
+          try
+            ignore (Event_queue.pop_kth q 5);
+            Alcotest.fail "heap accepted out-of-range k"
+          with Invalid_argument _ -> ())
+    ]
+  in
+  let agree =
+    QCheck.Test.make
+      ~name:"wheel and heap agree under pop_kth tie-breaks" ~count:300
+      QCheck.(list (triple (int_range 0 5) (int_range 0 2_000_000) (int_range 0 15)))
+      (fun ops ->
+        let w = Wheel.create () in
+        let q = Event_queue.create () in
+        (* Coarse deltas so same-time collisions are the norm, spread
+           across placement tiers (L0, L1/L2 cascades, overflow). *)
+        let scales = [| 0.25; 40.0; 3000.0; 0.0 |] in
+        let now = ref 0.0 in
+        let next_id = ref 0 in
+        let live = ref [] in
+        let ok = ref true in
+        List.iter
+          (fun (tag, draw, pick) ->
+            match tag with
+            | 0 | 1 | 2 ->
+              let time =
+                !now +. (float_of_int (draw mod 7) *. scales.(pick land 3))
+              in
+              let id = !next_id in
+              incr next_id;
+              let wh = Wheel.push w time id in
+              let qh = Event_queue.push q time id in
+              live := (id, wh, qh) :: !live
+            | 3 -> (
+              match !live with
+              | [] -> ()
+              | entries ->
+                let ((_, wh, qh) as victim) =
+                  List.nth entries (pick mod List.length entries)
+                in
+                Wheel.cancel w wh;
+                Event_queue.cancel q qh;
+                live := List.filter (fun e -> e != victim) entries)
+            | _ -> (
+              let wn = Wheel.front_count w in
+              let qn = Event_queue.front_count q in
+              if wn <> qn then ok := false;
+              if wn > 0 then
+                let k = pick mod wn in
+                match (Wheel.pop_kth w k, Event_queue.pop_kth q k) with
+                | Some (wt, wid), Some (qt, qid) when wt = qt && wid = qid ->
+                  now := wt;
+                  live := List.filter (fun (i, _, _) -> i <> wid) !live
+                | _ -> ok := false))
+          ops;
+        if Wheel.size w <> List.length !live then ok := false;
+        (* Drain canonically and compare the tails. *)
+        let rec drain () =
+          match (Wheel.pop w, Event_queue.pop q) with
+          | None, None -> ()
+          | Some (wt, wid), Some (qt, qid) when wt = qt && wid = qid -> drain ()
+          | _ -> ok := false
+        in
+        drain ();
+        !ok)
+  in
+  unit_tests @ List.map QCheck_alcotest.to_alcotest [ agree ]
+
 let sim_tests =
   [ Alcotest.test_case "clock advances to event times" `Quick (fun () ->
         let sim = Sim.create () in
@@ -671,6 +799,7 @@ let () =
     [ ("time", time_tests);
       ("event_queue", event_queue_tests @ event_queue_properties);
       ("wheel", wheel_tests @ wheel_properties);
+      ("tie-break", tie_break_tests);
       ("sim", sim_tests);
       ("timer", timer_tests);
       ("rng", rng_tests @ rng_properties);
