@@ -796,7 +796,7 @@ let calibrate_ns () =
    run is dominated by the transmit/deliver path, with enough mobility
    to keep tunnels and prune state churning.  Returns
    (events, wall_s, allocated_bytes, minor_collections). *)
-let perf_scenario ~wire ~capture ~seconds () =
+let perf_scenario ~wire ~capture ?(lineage = false) ~seconds () =
   let spec =
     { Scenario.default_spec with
       Scenario.approach = Approach.tunnel_to_home_agent }
@@ -805,6 +805,7 @@ let perf_scenario ~wire ~capture ~seconds () =
   let sim = scenario.Scenario.sim in
   let net = scenario.Scenario.net in
   if wire then Net.Network.set_wire_check net true;
+  if lineage then Engine.Sim.set_lineage sim (Some (Engine.Span.create ()));
   let cap = if capture then Some (Obs.Capture.attach net) else None in
   ignore
     (Engine.Sim.schedule_at sim 5.0 (fun () ->
@@ -844,11 +845,11 @@ type perf_row = {
 
 (* Best-of-N wall clock (events and allocation are deterministic across
    repeats — only the wall time is noisy). *)
-let perf_scenario_row name ~wire ~capture ~seconds ~runs =
-  ignore (perf_scenario ~wire ~capture ~seconds:30.0 ()) (* warm-up *);
+let perf_scenario_row name ~wire ~capture ?(lineage = false) ~seconds ~runs () =
+  ignore (perf_scenario ~wire ~capture ~lineage ~seconds:30.0 ()) (* warm-up *);
   let best = ref infinity and events = ref 0 and alloc = ref 0.0 and minor = ref 0 in
   for _ = 1 to runs do
-    let e, w, a, m = perf_scenario ~wire ~capture ~seconds () in
+    let e, w, a, m = perf_scenario ~wire ~capture ~lineage ~seconds () in
     if w < !best then best := w;
     events := e;
     alloc := a;
@@ -959,6 +960,16 @@ let perf () =
   in
   let transmit_batch = transmit_batch_on (make_transmit_net ~wire:false) in
   let transmit_wire_batch = transmit_batch_on (make_transmit_net ~wire:true) in
+  (* Same transmit batch with a lineage collector installed; a fresh
+     collector per batch keeps the span store from growing across the
+     measurement and prices what tracing-on costs the hot path. *)
+  let transmit_traced_batch =
+    let ((sim, _, _, _) as env) = make_transmit_net ~wire:false in
+    let batch = transmit_batch_on env in
+    fun () ->
+      Engine.Sim.set_lineage sim (Some (Engine.Span.create ()));
+      batch ()
+  in
   (* -- micro 3: the wire path itself — arena encode, interned-frame
         force (first touch vs memo hit) and decode -- *)
   let wire_bytes = Ipv6.Codec.encode packet in
@@ -969,6 +980,7 @@ let perf () =
   let wheel_ns = estimate_ns "timer wheel batch" wheel_batch in
   let transmit_ns = estimate_ns "transmit batch" transmit_batch in
   let transmit_wire_ns = estimate_ns "transmit batch (wire-check)" transmit_wire_batch in
+  let transmit_traced_ns = estimate_ns "transmit batch (traced)" transmit_traced_batch in
   let encode_ns =
     estimate_ns "codec encode (arena)" (fun () ->
         ignore (Ipv6.Codec.encode packet))
@@ -989,12 +1001,15 @@ let perf () =
   let wheel_events_per_s = per_s queue_events wheel_ns in
   let packets_per_s = per_s transmit_packets transmit_ns in
   let wire_packets_per_s = per_s transmit_packets transmit_wire_ns in
+  let traced_packets_per_s = per_s transmit_packets transmit_traced_ns in
   Printf.printf "  %-44s %14.0f /s\n" "event queue (heap): push/cancel/pop" events_per_s;
   Printf.printf "  %-44s %14.0f /s\n" "timer wheel: push/cancel/pop" wheel_events_per_s;
   Printf.printf "  %-44s %14.0f /s\n" "network: packets through transmit+deliver"
     packets_per_s;
   Printf.printf "  %-44s %14.0f /s\n" "network: same, wire-check (shared frame)"
     wire_packets_per_s;
+  Printf.printf "  %-44s %14.0f /s\n" "network: same, lineage tracing on"
+    traced_packets_per_s;
   Printf.printf "  %-44s %14.1f ns\n" "codec: encode via arena" encode_ns;
   Printf.printf "  %-44s %14.1f ns\n" "frame: intern + first force" force_fresh_ns;
   Printf.printf "  %-44s %14.1f ns\n" "frame: force memo hit" force_hit_ns;
@@ -1006,12 +1021,21 @@ let perf () =
   Printf.printf "\n  full figure-1 scenario, %g simulated s (best of %d):\n" seconds
     runs;
   let structural =
-    perf_scenario_row "structural" ~wire:false ~capture:false ~seconds ~runs
+    perf_scenario_row "structural" ~wire:false ~capture:false ~seconds ~runs ()
   in
   let wire_exact =
-    perf_scenario_row "wire_exact" ~wire:true ~capture:true ~seconds ~runs
+    perf_scenario_row "wire_exact" ~wire:true ~capture:true ~seconds ~runs ()
   in
-  let scenario_rows = [ structural; wire_exact ] in
+  (* Same workload with the lineage collector installed: the cost of
+     tracing {e on}.  The structural/wire_exact rows above run with
+     tracing off, so their comparison against bench/baseline_perf.json
+     (recorded before the instrumentation existed) is the gate that the
+     disabled-path checks cost nothing measurable. *)
+  let traced =
+    perf_scenario_row "traced" ~wire:false ~capture:false ~lineage:true ~seconds
+      ~runs ()
+  in
+  let scenario_rows = [ structural; wire_exact; traced ] in
   List.iter
     (fun r ->
       Printf.printf
@@ -1019,6 +1043,9 @@ let perf () =
         r.pr_name r.pr_events r.pr_wall_s r.pr_events_per_s r.pr_alloc_per_sim_s
         r.pr_minor_per_sim_s)
     scenario_rows;
+  Printf.printf "  %-12s tracing-on overhead vs structural: %.1f%% throughput\n"
+    "traced"
+    (100.0 *. (1.0 -. (traced.pr_events_per_s /. structural.pr_events_per_s)));
   (* ratios vs the recorded pre-change baseline, speed-normalized *)
   let vs_pre_change =
     List.filter_map
@@ -1086,6 +1113,11 @@ let perf () =
                   [ ("packets_per_batch", Obs.Json.Int transmit_packets);
                     ("ns_per_batch", Obs.Json.float transmit_wire_ns);
                     ("packets_per_s", Obs.Json.float wire_packets_per_s) ] );
+              ( "transmit_traced",
+                Obs.Json.Obj
+                  [ ("packets_per_batch", Obs.Json.Int transmit_packets);
+                    ("ns_per_batch", Obs.Json.float transmit_traced_ns);
+                    ("packets_per_s", Obs.Json.float traced_packets_per_s) ] );
               ( "wire_path",
                 Obs.Json.Obj
                   [ ("encode_ns", Obs.Json.float encode_ns);
@@ -1127,6 +1159,51 @@ let perf () =
   if not identical then (
     prerr_endline "perf: parallel Table 1 rows differ from sequential rows";
     exit 1)
+
+(* ---- lineage micro: traced vs untraced figure-1 throughput ---- *)
+
+(* A focused cut of the perf section for iterating on the lineage
+   instrumentation: the same figure-1 workload with tracing off and on,
+   plus the span/mark volume a traced run produces.  The regression
+   gate for the tracing-off path lives in the perf section
+   (bench/check_perf.py against bench/baseline_perf.json). *)
+let lineage_bench () =
+  section "Lineage: traced vs untraced figure-1 throughput";
+  let seconds = 120.0 in
+  let runs = if !quick_setting then 2 else 3 in
+  let untraced =
+    perf_scenario_row "untraced" ~wire:false ~capture:false ~seconds ~runs ()
+  in
+  let traced =
+    perf_scenario_row "traced" ~wire:false ~capture:false ~lineage:true ~seconds
+      ~runs ()
+  in
+  List.iter
+    (fun r ->
+      Printf.printf
+        "  %-12s %8d events  %8.4f s  %9.0f ev/s  %10.0f alloc B/sim-s\n"
+        r.pr_name r.pr_events r.pr_wall_s r.pr_events_per_s r.pr_alloc_per_sim_s)
+    [ untraced; traced ];
+  Printf.printf "  tracing-on overhead: %.1f%% throughput, %.2fx allocation\n"
+    (100.0 *. (1.0 -. (traced.pr_events_per_s /. untraced.pr_events_per_s)))
+    (traced.pr_alloc_per_sim_s /. untraced.pr_alloc_per_sim_s);
+  (* Span volume, from a single traced run. *)
+  let spec =
+    { Scenario.default_spec with
+      Scenario.approach = Approach.tunnel_to_home_agent }
+  in
+  let scenario = Scenario.paper_figure1 spec in
+  let lin = Obs.Lineage.create () in
+  Obs.Lineage.attach lin scenario.Scenario.sim;
+  Traffic.at scenario 5.0 (fun () -> Scenario.subscribe_receivers scenario group);
+  ignore
+    (Traffic.cbr scenario (Scenario.host scenario "S") ~group ~from_t:10.0
+       ~until:(seconds -. 10.0) ~interval:0.01 ~bytes:500);
+  Traffic.at scenario 45.0 (fun () ->
+      Host_stack.move_to (Scenario.host scenario "R3") (Scenario.link scenario "L6"));
+  Scenario.run_until scenario seconds;
+  Printf.printf "  traced run recorded %d span(s), %d mark(s)\n"
+    (Obs.Lineage.span_count lin) (Obs.Lineage.mark_count lin)
 
 (* ---- driver ---- *)
 
@@ -1300,6 +1377,7 @@ let sections =
     ("soak", soak);
     ("explore", explore_bench);
     ("micro", micro);
+    ("lineage", lineage_bench);
     ("perf", perf) ]
 
 (* Canonical Figure-1 capture (the README quickstart scenario): CBR

@@ -123,6 +123,16 @@ let run_cmd approach seed no_unsolicited tquery moves duration rate bytes loss f
   | `Ok spec ->
     let scenario = Scenario.paper_figure1 spec in
     let metrics = Metrics.attach scenario.Scenario.net in
+    let lin =
+      Option.map
+        (fun _ ->
+          let l =
+            Obs.Lineage.create ~approach:(Approach.name spec.Scenario.approach) ()
+          in
+          Obs.Lineage.attach l scenario.Scenario.sim;
+          l)
+        telemetry
+    in
     let cap = Option.map (fun _ -> Obs.Capture.attach scenario.Scenario.net) capture in
     let tele =
       Option.map
@@ -221,6 +231,27 @@ let run_cmd approach seed no_unsolicited tquery moves duration rate bytes loss f
        Obs.Manifest.add_float m "sample_interval_s" sample_interval;
        Obs.Manifest.add_output m ~kind:"telemetry" path;
        Option.iter (fun f -> Obs.Manifest.add_output m ~kind:"capture" f) capture;
+       (match lin with
+        | None -> ()
+        | Some l ->
+          let lineage_path = Filename.concat dir "lineage.json" in
+          Obs.Lineage.save l ~path:lineage_path;
+          let catapult_path = Filename.concat dir "catapult.json" in
+          Obs.Export.save_catapult l ~path:catapult_path;
+          let handover_path = Filename.concat dir "handover.json" in
+          Obs.Json.write_file ~pretty:true ~path:handover_path
+            (Obs.Export.handovers_json l);
+          Obs.Manifest.add_output m ~kind:"lineage" lineage_path;
+          Obs.Manifest.add_output m ~kind:"catapult" catapult_path;
+          Obs.Manifest.add_output m ~kind:"handover" handover_path;
+          Printf.printf "lineage: %d span(s), %d mark(s) -> %s\n"
+            (Obs.Lineage.span_count l) (Obs.Lineage.mark_count l) lineage_path;
+          (match Obs.Export.handover_breakdowns l with
+           | [] -> ()
+           | hbs ->
+             Printf.printf "handover latency breakdown:\n";
+             List.iter (Format.printf "%a" Obs.Export.pp_breakdown) hbs;
+             Format.print_flush ()));
        Obs.Manifest.write m ~path:(Filename.concat dir "manifest.json");
        Printf.printf "telemetry: %d sample(s) -> %s\n" (Obs.Registry.samples reg) path);
     `Ok ()
@@ -304,6 +335,8 @@ let compare_observer ~seed dir : Comparison.observer =
   in
   Obs.Registry.run_sampler reg ~every:sample_interval ~until;
   let approach = scenario.Scenario.spec.Scenario.approach in
+  let lin = Obs.Lineage.create ~approach:(Approach.name approach) () in
+  Obs.Lineage.attach lin scenario.Scenario.sim;
   fun () ->
     (match phase with
      | `Receiver ->
@@ -332,7 +365,16 @@ let compare_observer ~seed dir : Comparison.observer =
              ("approach_name", Obs.Json.String (Approach.name approach));
              ("phase", Obs.Json.String (phase_name phase));
              ("seed", Obs.Json.Int seed) ]
-         reg)
+         reg);
+    let stem suffix =
+      Filename.concat dir
+        (Printf.sprintf "%s_approach%d_%s.json" suffix (Approach.number approach)
+           (phase_name phase))
+    in
+    Obs.Lineage.save lin ~path:(stem "lineage");
+    Obs.Export.save_catapult lin ~path:(stem "catapult");
+    Obs.Json.write_file ~pretty:true ~path:(stem "handover")
+      (Obs.Export.handovers_json lin)
 
 let row_json (r : Comparison.row) =
   Obs.Json.Obj
@@ -387,15 +429,18 @@ let compare_cmd seed no_unsolicited tquery jobs telemetry =
          (fun r ->
            List.iter
              (fun phase ->
-               Obs.Manifest.add_output m ~kind:"telemetry"
-                 (Filename.concat dir
-                    (Printf.sprintf "telemetry_approach%d_%s.json"
-                       (Approach.number r.Comparison.approach) phase)))
+               List.iter
+                 (fun kind ->
+                   Obs.Manifest.add_output m ~kind
+                     (Filename.concat dir
+                        (Printf.sprintf "%s_approach%d_%s.json" kind
+                           (Approach.number r.Comparison.approach) phase)))
+                 [ "telemetry"; "lineage"; "catapult"; "handover" ])
              [ "receiver"; "sender" ])
          rows;
        Obs.Manifest.write m ~path:(Filename.concat dir "manifest.json");
        Printf.printf "\ntelemetry: %d document(s) -> %s\n"
-         ((2 * List.length rows) + 1)
+         ((8 * List.length rows) + 1)
          dir);
     `Ok ()
 
@@ -667,10 +712,34 @@ let check_term =
 
 (* ---- pcap ---- *)
 
+(* A decode error's reason bucket: the message prefix up to the first
+   ':' with digit runs collapsed, so "binding ack option: bad length 7"
+   and "... length 9" count under one reason. *)
+let decode_reason msg =
+  let cut =
+    match String.index_opt msg ':' with
+    | Some i -> String.sub msg 0 i
+    | None -> msg
+  in
+  let buf = Buffer.create (String.length cut) in
+  let last_digit = ref false in
+  String.iter
+    (fun c ->
+      if c >= '0' && c <= '9' then begin
+        if not !last_digit then Buffer.add_char buf '#';
+        last_digit := true
+      end
+      else begin
+        last_digit := false;
+        Buffer.add_char buf c
+      end)
+    cut;
+  Buffer.contents buf
+
 let pcap_cmd file verbose =
-  match Obs.Pcapng.read_file file with
-  | Error e -> `Error (false, Printf.sprintf "%s: invalid pcapng: %s" file e)
-  | Ok cap ->
+  match Obs.Pcapng.read_file_lenient file with
+  | Error e -> `Error (false, Printf.sprintf "%s: %s" file e)
+  | Ok (cap, structural_error) ->
     let iface_names =
       List.mapi
         (fun i (intf : Obs.Pcapng.interface) ->
@@ -679,6 +748,7 @@ let pcap_cmd file verbose =
     in
     let per_iface = Hashtbl.create 8 in
     let malformed = ref 0 in
+    let by_reason : (string, int) Hashtbl.t = Hashtbl.create 8 in
     List.iter
       (fun (f : Obs.Pcapng.frame) ->
         Hashtbl.replace per_iface f.Obs.Pcapng.frame_interface
@@ -694,6 +764,9 @@ let pcap_cmd file verbose =
               (Format.asprintf "%a" Ipv6.Packet.pp pkt)
         | Error e ->
           incr malformed;
+          let reason = decode_reason e in
+          Hashtbl.replace by_reason reason
+            (1 + Option.value ~default:0 (Hashtbl.find_opt by_reason reason));
           Printf.eprintf "malformed frame at %.6f s: %s\n" f.Obs.Pcapng.frame_ts e)
       cap.Obs.Pcapng.frames;
     Printf.printf "%s: %d frame(s), %d interface(s)%s\n" file
@@ -713,12 +786,27 @@ let pcap_cmd file verbose =
        let last = List.fold_left (fun _ f -> f) first cap.Obs.Pcapng.frames in
        Printf.printf "  time span %.6f .. %.6f s\n" first.Obs.Pcapng.frame_ts
          last.Obs.Pcapng.frame_ts);
-    if !malformed > 0 then
-      `Error (false, Printf.sprintf "%d frame(s) failed to re-decode" !malformed)
-    else begin
-      Printf.printf "all frames re-decode through Ipv6.Codec\n";
-      `Ok ()
-    end
+    if !malformed > 0 then begin
+      Printf.printf "decode failures by reason:\n";
+      Hashtbl.fold (fun reason n acc -> (reason, n) :: acc) by_reason []
+      |> List.sort (fun (ra, na) (rb, nb) -> if na <> nb then compare nb na else compare ra rb)
+      |> List.iter (fun (reason, n) -> Printf.printf "  %-48s %d\n" reason n)
+    end;
+    (match structural_error with
+     | Some e ->
+       `Error
+         ( false,
+           Printf.sprintf
+             "capture is structurally damaged after %d readable frame(s): %s"
+             (List.length cap.Obs.Pcapng.frames)
+             e )
+     | None ->
+       if !malformed > 0 then
+         `Error (false, Printf.sprintf "%d frame(s) failed to re-decode" !malformed)
+       else begin
+         Printf.printf "all frames re-decode through Ipv6.Codec\n";
+         `Ok ()
+       end)
 
 let pcap_term =
   let file =
@@ -730,6 +818,89 @@ let pcap_term =
     Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
   in
   Term.(ret (const pcap_cmd $ file $ verbose))
+
+(* ---- lineage ---- *)
+
+let lineage_cmd dir receiver from_s to_s =
+  let path =
+    if Sys.file_exists dir && Sys.is_directory dir then
+      Filename.concat dir "lineage.json"
+    else dir
+  in
+  match Obs.Lineage.load path with
+  | Error e -> `Error (false, Printf.sprintf "%s: %s" path e)
+  | Ok l ->
+    let node = if receiver = "any" then "" else receiver in
+    Printf.printf "%s: %d span(s), %d mark(s)%s\n" path (Obs.Lineage.span_count l)
+      (Obs.Lineage.mark_count l)
+      (match Obs.Lineage.approach l with
+       | "" -> ""
+       | a -> Printf.sprintf ", approach %s" a);
+    let before = Option.value to_s ~default:infinity in
+    (* A chain belongs to the window when the event it explains — its
+       terminal span — happened inside it. *)
+    let in_window = function
+      | [] -> None
+      | chain ->
+        let last = List.nth chain (List.length chain - 1) in
+        if last.Obs.Span.sp_start >= from_s && last.Obs.Span.sp_start <= before then
+          Some chain
+        else None
+    in
+    let window_text =
+      Printf.sprintf "%s in [%.1f, %s]"
+        (if node = "" then "any node" else node)
+        from_s
+        (match to_s with
+         | Some u -> Printf.sprintf "%.1f" u
+         | None -> "end")
+    in
+    let delivery =
+      Option.bind (Obs.Lineage.delivery_chain l ~node ~before ()) in_window
+    in
+    let dropped =
+      Option.bind (Obs.Lineage.why_dropped l ~node ~before ()) in_window
+    in
+    (match delivery with
+     | None -> Printf.printf "\nno delivery recorded for %s\n" window_text
+     | Some chain ->
+       Printf.printf "\nlast delivery for %s:\n" window_text;
+       List.iter (Printf.printf "  %s\n") (Obs.Span.render_chain chain));
+    (match dropped with
+     | None -> Printf.printf "\nno drop recorded for %s\n" window_text
+     | Some chain ->
+       Printf.printf "\nlast drop for %s:\n" window_text;
+       List.iter (Printf.printf "  %s\n") (Obs.Span.render_chain chain));
+    (match Obs.Lineage.drop_counts l with
+     | [] -> ()
+     | counts ->
+       Printf.printf "\ndrop totals (whole run):\n";
+       List.iter (fun (reason, n) -> Printf.printf "  %-16s %d\n" reason n) counts);
+    if delivery = None && dropped = None then
+      `Error (false, Printf.sprintf "no lineage recorded for %s" window_text)
+    else `Ok ()
+
+let lineage_term =
+  let dir =
+    let doc =
+      "Telemetry directory holding $(b,lineage.json) (as written by $(b,run) \
+       $(b,--telemetry)), or a lineage JSON file directly."
+    in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"DIR" ~doc)
+  in
+  let receiver =
+    let doc = "Receiver (node label) whose chains to reconstruct; $(b,any) for all." in
+    Arg.(value & opt string "R3" & info [ "receiver" ] ~docv:"NODE" ~doc)
+  in
+  let from_s =
+    let doc = "Window start, simulated seconds." in
+    Arg.(value & opt float 0.0 & info [ "from" ] ~docv:"S" ~doc)
+  in
+  let to_s =
+    let doc = "Window end, simulated seconds (default: end of run)." in
+    Arg.(value & opt (some float) None & info [ "to" ] ~docv:"S" ~doc)
+  in
+  Term.(ret (const lineage_cmd $ dir $ receiver $ from_s $ to_s))
 
 (* ---- gen ---- *)
 
@@ -1096,6 +1267,13 @@ let cmds =
            "Validate and summarize a pcapng capture: every frame must re-decode \
             through the wire codec")
       pcap_term;
+    Cmd.v
+      (Cmd.info "lineage"
+         ~doc:
+           "Reconstruct causal packet chains from a recorded lineage: how a \
+            packet reached a receiver (inject, encap, tunnel, decap, fan-out) \
+            and why the last drop happened")
+      lineage_term;
     Cmd.v
       (Cmd.info "gen"
          ~doc:

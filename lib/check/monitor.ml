@@ -33,6 +33,7 @@ type violation = {
   v_where : string;
   v_detail : string;
   v_trace : Engine.Trace.record list;
+  v_chain : string list;
 }
 
 type config = {
@@ -134,6 +135,28 @@ let samples t = t.samples
 let violations t = List.rev t.violations_rev
 let violation_count t = t.count
 
+(* With lineage collection on, a violation gets the causal chain of
+   the most recent packet drop — preferring one on the node or link
+   the violation names — shrunk by [Span.causal_chain] to the spans
+   that explain it. *)
+let chain_at t ~at ~where =
+  match Engine.Sim.lineage t.scenario.Scenario.sim with
+  | None -> []
+  | Some c ->
+    let dropped sp = sp.Engine.Span.sp_drop <> None in
+    let pick =
+      match
+        Engine.Span.last_matching c ~before:at (fun sp ->
+            dropped sp && sp.Engine.Span.sp_node = where)
+      with
+      | Some _ as sp -> sp
+      | None -> Engine.Span.last_matching c ~before:at dropped
+    in
+    (match pick with
+     | None -> []
+     | Some sp ->
+       Engine.Span.render_chain (Engine.Span.causal_chain c sp.Engine.Span.sp_id))
+
 let record_keyed t ~at ~key ~inv ~where ~detail =
   if not (Hashtbl.mem t.opened key) then begin
     Hashtbl.replace t.opened key ();
@@ -142,7 +165,8 @@ let record_keyed t ~at ~key ~inv ~where ~detail =
         v_at = at;
         v_where = where;
         v_detail = detail;
-        v_trace = Engine.Trace.recent (Network.trace (net t)) ~n:t.cfg.trace_excerpt }
+        v_trace = Engine.Trace.recent (Network.trace (net t)) ~n:t.cfg.trace_excerpt;
+        v_chain = chain_at t ~at ~where }
     in
     t.violations_rev <- v :: t.violations_rev;
     t.count <- t.count + 1
@@ -747,6 +771,10 @@ let pp_violation ppf v =
   if v.v_trace <> [] then begin
     Format.fprintf ppf "@,trace (newest first):";
     List.iter (fun r -> Format.fprintf ppf "@,  %a" Engine.Trace.pp_record r) v.v_trace
+  end;
+  if v.v_chain <> [] then begin
+    Format.fprintf ppf "@,causal chain:";
+    List.iter (fun l -> Format.fprintf ppf "@,  %s" l) v.v_chain
   end;
   Format.fprintf ppf "@]"
 

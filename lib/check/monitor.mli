@@ -59,6 +59,10 @@ type violation = {
   v_detail : string;
   v_trace : Engine.Trace.record list;
       (** trace excerpt at detection, newest first *)
+  v_chain : string list;
+      (** rendered causal chain (root first) of the most recent
+          relevant packet drop when lineage collection
+          ({!Engine.Sim.set_lineage}) is enabled; [[]] otherwise *)
 }
 
 type config = {

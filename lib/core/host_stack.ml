@@ -81,6 +81,14 @@ let topo t = Network.topology t.net
 let trace t fmt =
   Engine.Trace.recordf (Network.trace t.net) ~category:"node" ("%s: " ^^ fmt) t.label
 
+let lineage t = Engine.Sim.lineage (sim t)
+
+let lmark t name attrs =
+  match lineage t with
+  | None -> ()
+  | Some c ->
+    Engine.Span.mark c ~at:(Engine.Sim.now (sim t)) ~name ~node:t.label ~attrs ()
+
 let current_source_address t =
   match t.detected with
   | Home -> t.home_address
@@ -125,18 +133,51 @@ let send_data t ~group ~bytes =
       Packet.Data { stream_id = Node_id.to_int t.node; seq = t.seq; bytes }
     in
     match (t.detected, t.cfg.approach.Approach.send) with
-    | Home, _ | Foreign _, Approach.Send_local ->
+    | Home, _ | Foreign _, Approach.Send_local -> (
       (* Local sending; during the movement-detection window the source
          address is the stale one (paper, section 4.3.1). *)
       let packet = Packet.make ~src:(current_source_address t) ~dst:group payload in
-      Network.transmit t.net ~from:t.node ~link:t.current_link Network.To_all packet
-    | Foreign coa, Approach.Send_tunnel ->
+      let send () =
+        Network.transmit t.net ~from:t.node ~link:t.current_link Network.To_all packet
+      in
+      match lineage t with
+      | None -> send ()
+      | Some c ->
+        (* The injection span roots this packet's trace; everything the
+           engine does with the packet hangs off it. *)
+        let at = Engine.Sim.now (sim t) in
+        let id =
+          Engine.Span.open_span c ~at ~name:("inject " ^ Packet.label packet)
+            ~node:t.label ()
+        in
+        Engine.Span.in_context c
+          ((Engine.Span.get c id).Engine.Span.sp_trace, id)
+          send;
+        Engine.Span.close_span c ~at id)
+    | Foreign coa, Approach.Send_tunnel -> (
       (* Reverse tunnel: home address inside, care-of outside
          (Figure 4). *)
       let inner = Packet.make ~src:t.home_address ~dst:group payload in
       let outer = Mipv6.Tunnel.mobile_to_home_agent ~care_of:coa ~home_agent:t.home_agent inner in
       t.load.Load.encapsulations <- t.load.Load.encapsulations + 1;
-      send_unicast t outer
+      match lineage t with
+      | None -> send_unicast t outer
+      | Some c ->
+        let at = Engine.Sim.now (sim t) in
+        let id =
+          Engine.Span.open_span c ~at ~name:("inject " ^ Packet.label inner)
+            ~node:t.label ()
+        in
+        let enc =
+          Engine.Span.open_span c ~at ~name:"encap" ~node:t.label ~parent:id ()
+        in
+        Engine.Span.set_attr c enc "care-of" (Addr.to_string coa);
+        Engine.Span.set_attr c enc "inner" (Packet.label inner);
+        Engine.Span.in_context c
+          ((Engine.Span.get c enc).Engine.Span.sp_trace, enc)
+          (fun () -> send_unicast t outer);
+        Engine.Span.close_span c ~at enc;
+        Engine.Span.close_span c ~at id)
   end
 
 (* ---- MLD host instances ---- *)
@@ -214,8 +255,21 @@ let deliver_app t ~group packet =
     else begin
       Hashtbl.replace t.seen (stream_id, seq) ();
       s.count <- s.count + 1;
-      if s.first_after_attach = None then
-        s.first_after_attach <- Some (Engine.Sim.now (sim t));
+      let first = s.first_after_attach = None in
+      if first then s.first_after_attach <- Some (Engine.Sim.now (sim t));
+      (match lineage t with
+       | None -> ()
+       | Some c ->
+         let at = Engine.Sim.now (sim t) in
+         let id =
+           Engine.Span.event c ~at ~name:("deliver " ^ Packet.label packet)
+             ~node:t.label ()
+         in
+         Engine.Span.set_attr c id "group" (Addr.to_string group);
+         if first then
+           Engine.Span.mark c ~at ~name:"first-delivery" ~node:t.label
+             ~attrs:[ ("group", Addr.to_string group) ]
+             ());
       List.iter (fun observe -> observe ~group packet) t.data_observers;
       match t.on_data with
       | Some f -> f ~group packet
@@ -223,8 +277,7 @@ let deliver_app t ~group packet =
     end
   | Packet.Mld _ | Packet.Pim _ | Packet.Nd _ | Packet.Encapsulated _ | Packet.Empty -> ()
 
-let handle_encapsulated t inner =
-  t.load.Load.decapsulations <- t.load.Load.decapsulations + 1;
+let handle_encapsulated_inner t inner =
   match inner.Packet.payload with
   | Packet.Mld msg -> (
     t.load.Load.control_messages <- t.load.Load.control_messages + 1;
@@ -234,6 +287,19 @@ let handle_encapsulated t inner =
   | Packet.Data _ | Packet.Encapsulated _ | Packet.Empty | Packet.Pim _ | Packet.Nd _ ->
     if Packet.is_multicast_dst inner && Addr.Set.mem inner.Packet.dst t.subscriptions then
       deliver_app t ~group:inner.Packet.dst inner
+
+let handle_encapsulated t inner =
+  t.load.Load.decapsulations <- t.load.Load.decapsulations + 1;
+  match lineage t with
+  | None -> handle_encapsulated_inner t inner
+  | Some c ->
+    let at = Engine.Sim.now (sim t) in
+    let id = Engine.Span.open_span c ~at ~name:"decap" ~node:t.label () in
+    Engine.Span.set_attr c id "inner" (Packet.label inner);
+    Engine.Span.in_context c
+      ((Engine.Span.get c id).Engine.Span.sp_trace, id)
+      (fun () -> handle_encapsulated_inner t inner);
+    Engine.Span.close_span c ~at id
 
 let on_receive t ~link ~from:_ packet =
   if t.running then begin
@@ -252,7 +318,14 @@ let on_receive t ~link ~from:_ packet =
         match t.mld_local with
         | Some mld when Mld.Mld_host.is_joined mld packet.Packet.dst ->
           deliver_app t ~group:packet.Packet.dst packet
-        | Some _ | None -> ())
+        | Some _ | None -> (
+          match lineage t with
+          | None -> ()
+          | Some c ->
+            ignore
+              (Engine.Span.drop c ~at:(Engine.Sim.now (sim t)) ~node:t.label
+                 ~reason:Engine.Span.Not_joined
+                 ~detail:(Addr.to_string packet.Packet.dst) ())))
       | Packet.Nd msg -> handle_nd t ~link msg
       | Packet.Pim _ | Packet.Encapsulated _ | Packet.Empty -> ()
     end
@@ -267,6 +340,7 @@ let on_receive t ~link ~from:_ packet =
        with
        | Some ack ->
          t.load.Load.control_messages <- t.load.Load.control_messages + 1;
+         if ack.Packet.status = 0 then lmark t "bu-acked" [];
          (match t.mobile with
           | Some m -> Mipv6.Mobile_node.handle_ack m ack
           | None -> ())
@@ -351,6 +425,7 @@ let reset_rx_marks t =
 let finalize_attach t =
   t.pending_detection <- None;
   t.awaiting_detection <- false;
+  lmark t "attach" [ ("link", Topology.link_name (topo t) t.current_link) ];
   let is_home = Link_id.equal t.current_link t.home_link in
   if is_home then begin
     t.detected <- Home;
@@ -383,6 +458,7 @@ let finalize_attach t =
     Mipv6.Mobile_node.set_advertised_groups ~notify:false (mobile t)
       (if advertise then Addr.Set.elements t.subscriptions else []);
     Mipv6.Mobile_node.attach_foreign (mobile t) ~care_of:coa;
+    lmark t "bu-sent" [ ("care-of", Addr.to_string coa) ];
     if
       t.cfg.approach.Approach.receive = Approach.Receive_tunnel
       && t.cfg.ha_mode = Router_stack.Ha_pim_tunnel_mld
@@ -420,6 +496,9 @@ let move_to t link =
     t.current_link <- link;
     t.attached_at <- Engine.Sim.now (sim t);
     reset_rx_marks t;
+    lmark t "handoff"
+      [ ("from", Topology.link_name (topo t) old_link);
+        ("to", Topology.link_name (topo t) link) ];
     trace t "handoff %s -> %s" (Topology.link_name (topo t) old_link)
       (Topology.link_name (topo t) link);
     t.awaiting_detection <- true;

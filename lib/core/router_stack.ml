@@ -106,6 +106,21 @@ let link_local t = Topology.link_local (topo t) t.node
 let trace t fmt =
   Engine.Trace.recordf (Network.trace t.net) ~category:"node" ("%s: " ^^ fmt) t.label
 
+let lineage t = Engine.Sim.lineage (sim t)
+
+let ldrop t reason detail =
+  match lineage t with
+  | None -> ()
+  | Some c ->
+    ignore
+      (Engine.Span.drop c ~at:(Engine.Sim.now (sim t)) ~node:t.label ~reason ~detail ())
+
+let lmark t name attrs =
+  match lineage t with
+  | None -> ()
+  | Some c ->
+    Engine.Span.mark c ~at:(Engine.Sim.now (sim t)) ~name ~node:t.label ~attrs ()
+
 (* ---- unicast origination and forwarding ---- *)
 
 let transmit t ~link dest packet = Network.transmit t.net ~from:t.node ~link dest packet
@@ -117,10 +132,13 @@ let rec forward_unicast t packet =
   | Routing.Deliver_on_link link -> (
     match Network.resolve t.net ~link packet.Packet.dst with
     | Some target -> transmit t ~link (Network.To_node target) packet
-    | None -> trace t "no neighbour for %s, dropped" (Addr.to_string packet.Packet.dst))
+    | None ->
+      ldrop t Engine.Span.No_route (Addr.to_string packet.Packet.dst);
+      trace t "no neighbour for %s, dropped" (Addr.to_string packet.Packet.dst))
   | Routing.Forward { out_link; next_hop } ->
     transmit t ~link:out_link (Network.To_node next_hop) packet
   | Routing.Unreachable ->
+    ldrop t Engine.Span.No_route (Addr.to_string packet.Packet.dst);
     trace t "unreachable %s, dropped" (Addr.to_string packet.Packet.dst)
 
 and intercept_to_mobile t entry packet =
@@ -138,7 +156,18 @@ and intercept_to_mobile t entry packet =
       ~home_agent:(address_on t home_link)
       ~care_of:entry.Mipv6.Binding_cache.care_of packet
   in
-  forward_unicast t outer
+  match lineage t with
+  | None -> forward_unicast t outer
+  | Some c ->
+    let at = Engine.Sim.now (sim t) in
+    let id = Engine.Span.open_span c ~at ~name:"encap" ~node:t.label () in
+    Engine.Span.set_attr c id "care-of"
+      (Addr.to_string entry.Mipv6.Binding_cache.care_of);
+    Engine.Span.set_attr c id "inner" (Packet.label packet);
+    Engine.Span.in_context c
+      ((Engine.Span.get c id).Engine.Span.sp_trace, id)
+      (fun () -> forward_unicast t outer);
+    Engine.Span.close_span c ~at id
 
 (* ---- home agent ---- *)
 
@@ -162,14 +191,25 @@ let is_virtual_iface iface = iface >= viface_base
 let send_through_tunnel t tunnel packet =
   match binding_for t tunnel.tunnel_home with
   | None -> ()
-  | Some entry ->
+  | Some entry -> (
     t.load.Load.encapsulations <- t.load.Load.encapsulations + 1;
     let outer =
       Mipv6.Tunnel.home_agent_to_mobile
         ~home_agent:(address_on t tunnel.home_link)
         ~care_of:entry.Mipv6.Binding_cache.care_of packet
     in
-    forward_unicast t outer
+    match lineage t with
+    | None -> forward_unicast t outer
+    | Some c ->
+      let at = Engine.Sim.now (sim t) in
+      let id = Engine.Span.open_span c ~at ~name:"encap" ~node:t.label () in
+      Engine.Span.set_attr c id "care-of"
+        (Addr.to_string entry.Mipv6.Binding_cache.care_of);
+      Engine.Span.set_attr c id "inner" (Packet.label packet);
+      Engine.Span.in_context c
+        ((Engine.Span.get c id).Engine.Span.sp_trace, id)
+        (fun () -> forward_unicast t outer);
+      Engine.Span.close_span c ~at id)
 
 let start_tunnel_mld t tunnel =
   match tunnel.tunnel_mld with
@@ -268,6 +308,9 @@ let on_binding_added t entry =
   trace t "binding %s -> %s (%d groups)" (Addr.to_string home)
     (Addr.to_string entry.Mipv6.Binding_cache.care_of)
     (List.length entry.Mipv6.Binding_cache.groups);
+  lmark t "tunnel-up"
+    [ ("home", Addr.to_string home);
+      ("care-of", Addr.to_string entry.Mipv6.Binding_cache.care_of) ];
   if is_active_home_agent t tunnel.home_link then apply_binding_side_effects t tunnel entry
 
 let on_binding_refreshed t ~previous:_ entry =
@@ -463,6 +506,10 @@ let process_binding_update t packet (bu : Packet.binding_update) =
         | Error status -> (status, 0)
       in
       if not is_sync then begin
+        if status = Mipv6.Binding_cache.status_accepted then
+          lmark t "bu-received"
+            [ ("home", Addr.to_string home);
+              ("care-of", Addr.to_string bu.Packet.care_of) ];
         let src =
           if t.config.ha_failover then ha_service_address (topo t) home_link
           else address_on t home_link
@@ -515,6 +562,13 @@ let reinject_from_reverse_tunnel t inner =
     trace t "reverse-tunnelled packet from %s not for a local home link"
       (Addr.to_string inner.Packet.src)
 
+let dispatch_decapsulated t inner =
+  match inner.Packet.payload with
+  | Packet.Mld _ -> handle_tunnelled_mld t inner
+  | Packet.Data _ | Packet.Encapsulated _ | Packet.Empty | Packet.Pim _ | Packet.Nd _ ->
+    if Packet.is_multicast_dst inner then reinject_from_reverse_tunnel t inner
+    else forward_unicast t inner
+
 let local_process t packet =
   (match Packet.find_binding_update packet with
    | Some bu -> process_binding_update t packet bu
@@ -522,11 +576,16 @@ let local_process t packet =
   match packet.Packet.payload with
   | Packet.Encapsulated inner -> (
     t.load.Load.decapsulations <- t.load.Load.decapsulations + 1;
-    match inner.Packet.payload with
-    | Packet.Mld _ -> handle_tunnelled_mld t inner
-    | Packet.Data _ | Packet.Encapsulated _ | Packet.Empty | Packet.Pim _ | Packet.Nd _ ->
-      if Packet.is_multicast_dst inner then reinject_from_reverse_tunnel t inner
-      else forward_unicast t inner)
+    match lineage t with
+    | None -> dispatch_decapsulated t inner
+    | Some c ->
+      let at = Engine.Sim.now (sim t) in
+      let id = Engine.Span.open_span c ~at ~name:"decap" ~node:t.label () in
+      Engine.Span.set_attr c id "inner" (Packet.label inner);
+      Engine.Span.in_context c
+        ((Engine.Span.get c id).Engine.Span.sp_trace, id)
+        (fun () -> dispatch_decapsulated t inner);
+      Engine.Span.close_span c ~at id)
   | Packet.Data _ | Packet.Mld _ | Packet.Pim _ | Packet.Nd _ | Packet.Empty -> ()
 
 let handle_unicast t packet =
@@ -537,6 +596,7 @@ let handle_unicast t packet =
     | None ->
       if packet.Packet.hop_limit <= 1 then begin
         t.load.Load.hop_limit_expired <- t.load.Load.hop_limit_expired + 1;
+        ldrop t Engine.Span.Hop_limit (Addr.to_string packet.Packet.dst);
         trace t "hop limit exceeded for %s" (Addr.to_string packet.Packet.dst)
       end
       else forward_unicast t { packet with Packet.hop_limit = packet.Packet.hop_limit - 1 }

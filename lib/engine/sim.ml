@@ -20,6 +20,7 @@ type t = {
   mutable executed : int;
   mutable profiler : profiler option;
   mutable decider : decider option;
+  mutable lineage : Span.t option;
 }
 
 let create ?(seed = 42) () =
@@ -28,10 +29,18 @@ let create ?(seed = 42) () =
     root_rng = Rng.create seed;
     executed = 0;
     profiler = None;
-    decider = None }
+    decider = None;
+    lineage = None }
 
 let set_decider t d = t.decider <- d
 let decider_active t = t.decider <> None
+
+(* Lineage collection follows the profiling discipline: [lineage]
+   stays [None] by default, and every instrumented site matches on it
+   before doing any work, so the disabled path allocates nothing. *)
+let set_lineage t c = t.lineage <- c
+let lineage t = t.lineage
+let lineage_active t = t.lineage <> None
 
 let decide t ~kind ~arity =
   if arity <= 1 then 0

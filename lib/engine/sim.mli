@@ -103,6 +103,19 @@ val set_decider : t -> decider option -> unit
 
 val decider_active : t -> bool
 
+(** {2 Causal packet-lineage collection}
+
+    Off by default, same zero-cost discipline as {!enable_profiling}:
+    until {!set_lineage} installs a {!Span.t} collector the
+    instrumented per-packet paths run their original allocation-free
+    code.  The collector never draws randomness, writes no trace
+    records and adds no delays, so golden trace digests are identical
+    with tracing on or off. *)
+
+val set_lineage : t -> Span.t option -> unit
+val lineage : t -> Span.t option
+val lineage_active : t -> bool
+
 val decide : t -> kind:choice_kind -> arity:int -> int
 (** Consult the installed decider; [0] when none is installed or
     [arity <= 1].  Instrumented components (network delivery, fault

@@ -1,0 +1,258 @@
+type drop_reason =
+  | Loss_fault
+  | Link_down
+  | Not_attached
+  | No_handler
+  | Malformed
+  | Rpf_fail
+  | Pruned_iface
+  | Hop_limit
+  | No_route
+  | Not_joined
+
+let drop_reason_name = function
+  | Loss_fault -> "loss-fault"
+  | Link_down -> "link-down"
+  | Not_attached -> "not-attached"
+  | No_handler -> "no-handler"
+  | Malformed -> "malformed"
+  | Rpf_fail -> "rpf-fail"
+  | Pruned_iface -> "pruned-iface"
+  | Hop_limit -> "hop-limit"
+  | No_route -> "no-route"
+  | Not_joined -> "not-joined"
+
+let drop_reason_of_name = function
+  | "loss-fault" -> Some Loss_fault
+  | "link-down" -> Some Link_down
+  | "not-attached" -> Some Not_attached
+  | "no-handler" -> Some No_handler
+  | "malformed" -> Some Malformed
+  | "rpf-fail" -> Some Rpf_fail
+  | "pruned-iface" -> Some Pruned_iface
+  | "hop-limit" -> Some Hop_limit
+  | "no-route" -> Some No_route
+  | "not-joined" -> Some Not_joined
+  | _ -> None
+
+let all_drop_reasons =
+  [ Loss_fault; Link_down; Not_attached; No_handler; Malformed; Rpf_fail;
+    Pruned_iface; Hop_limit; No_route; Not_joined ]
+
+type span = {
+  sp_id : int;
+  sp_trace : int;
+  sp_parent : int;  (* span id, -1 = trace root *)
+  sp_name : string;
+  sp_node : string;
+  sp_start : Time.t;
+  mutable sp_end : Time.t;
+  mutable sp_drop : drop_reason option;
+  mutable sp_cause : int;  (* causal edge to a span in another lineage, -1 = none *)
+  mutable sp_attrs : (string * string) list;  (* newest first *)
+}
+
+type mark = {
+  mk_at : Time.t;
+  mk_name : string;
+  mk_node : string;
+  mk_attrs : (string * string) list;
+}
+
+type t = {
+  mutable spans : span array;
+  mutable n_spans : int;
+  mutable marks_rev : mark list;
+  mutable n_marks : int;
+  mutable next_trace : int;
+  mutable cur_trace : int;  (* ambient causal context, -1 = none *)
+  mutable cur_span : int;
+}
+
+let dummy_span =
+  { sp_id = -1; sp_trace = -1; sp_parent = -1; sp_name = ""; sp_node = "";
+    sp_start = Time.zero; sp_end = Time.zero; sp_drop = None; sp_cause = -1;
+    sp_attrs = [] }
+
+let create () =
+  { spans = [||];
+    n_spans = 0;
+    marks_rev = [];
+    n_marks = 0;
+    next_trace = 0;
+    cur_trace = -1;
+    cur_span = -1 }
+
+let span_count t = t.n_spans
+let mark_count t = t.n_marks
+
+let get t id =
+  if id < 0 || id >= t.n_spans then
+    invalid_arg (Printf.sprintf "Span.get: no span %d" id);
+  t.spans.(id)
+
+let iter t f =
+  for i = 0 to t.n_spans - 1 do
+    f t.spans.(i)
+  done
+
+let spans t = List.init t.n_spans (fun i -> t.spans.(i))
+let marks t = List.rev t.marks_rev
+
+let fresh_trace t =
+  let id = t.next_trace in
+  t.next_trace <- id + 1;
+  id
+
+let context t = (t.cur_trace, t.cur_span)
+
+let set_context t (trace, span) =
+  t.cur_trace <- trace;
+  t.cur_span <- span
+
+let clear_context t =
+  t.cur_trace <- -1;
+  t.cur_span <- -1
+
+let in_context t (trace, span) f =
+  let saved_trace = t.cur_trace and saved_span = t.cur_span in
+  t.cur_trace <- trace;
+  t.cur_span <- span;
+  Fun.protect
+    ~finally:(fun () ->
+      t.cur_trace <- saved_trace;
+      t.cur_span <- saved_span)
+    f
+
+let push t span =
+  if t.n_spans = Array.length t.spans then begin
+    let grown = Array.make (max 64 (2 * t.n_spans)) dummy_span in
+    Array.blit t.spans 0 grown 0 t.n_spans;
+    t.spans <- grown
+  end;
+  t.spans.(t.n_spans) <- span;
+  t.n_spans <- t.n_spans + 1
+
+(* Restoring spans loaded back from disk: ids must arrive in order so
+   that id = array index keeps holding. *)
+let restore t span =
+  if span.sp_id <> t.n_spans then
+    invalid_arg
+      (Printf.sprintf "Span.restore: span id %d out of order (expected %d)"
+         span.sp_id t.n_spans);
+  push t span;
+  if span.sp_trace >= t.next_trace then t.next_trace <- span.sp_trace + 1
+
+let restore_mark t mark =
+  t.marks_rev <- mark :: t.marks_rev;
+  t.n_marks <- t.n_marks + 1
+
+let open_span t ~at ~name ~node ?parent ?cause () =
+  let parent_id =
+    match parent with
+    | Some p when p >= 0 -> p
+    | Some _ | None -> t.cur_span
+  in
+  let trace =
+    if parent_id >= 0 && parent_id < t.n_spans then t.spans.(parent_id).sp_trace
+    else if t.cur_trace >= 0 then t.cur_trace
+    else fresh_trace t
+  in
+  let id = t.n_spans in
+  push t
+    { sp_id = id;
+      sp_trace = trace;
+      sp_parent = (if parent_id >= 0 && parent_id < t.n_spans then parent_id else -1);
+      sp_name = name;
+      sp_node = node;
+      sp_start = at;
+      sp_end = at;
+      sp_drop = None;
+      sp_cause = (match cause with Some c when c >= 0 -> c | _ -> -1);
+      sp_attrs = [] };
+  id
+
+let close_span t ~at id = (get t id).sp_end <- at
+
+let set_attr t id key value =
+  let s = get t id in
+  s.sp_attrs <- (key, value) :: s.sp_attrs
+
+let set_cause t id cause = (get t id).sp_cause <- cause
+
+let event t ~at ~name ~node ?parent ?cause () =
+  open_span t ~at ~name ~node ?parent ?cause ()
+
+let drop t ~at ~node ~reason ?detail ?parent () =
+  let id =
+    open_span t ~at ~name:("drop:" ^ drop_reason_name reason) ~node ?parent ()
+  in
+  (get t id).sp_drop <- Some reason;
+  (match detail with Some d -> set_attr t id "detail" d | None -> ());
+  id
+
+let mark t ~at ~name ~node ?(attrs = []) () =
+  t.marks_rev <- { mk_at = at; mk_name = name; mk_node = node; mk_attrs = attrs }
+    :: t.marks_rev;
+  t.n_marks <- t.n_marks + 1
+
+(* ---- queries ---- *)
+
+let last_matching t ?before pred =
+  let ok s =
+    (match before with None -> true | Some b -> Time.compare s.sp_start b <= 0)
+    && pred s
+  in
+  let rec scan i = if i < 0 then None else if ok t.spans.(i) then Some t.spans.(i) else scan (i - 1) in
+  scan (t.n_spans - 1)
+
+let ancestry t id =
+  let rec up id acc guard =
+    if id < 0 || guard <= 0 then acc
+    else
+      let s = get t id in
+      up s.sp_parent (s :: acc) (guard - 1)
+  in
+  up id [] 256
+
+(* Root-first chain including causal edges: a span whose [sp_cause]
+   points at another lineage (Graft sent because a Prune arrived)
+   splices that cause's own chain immediately before itself, so the
+   rendered story reads "...prune received; graft sent because of it...". *)
+let causal_chain t id =
+  let budget = ref 512 in
+  let seen = Hashtbl.create 16 in
+  let rec chain id =
+    if id < 0 || !budget <= 0 || Hashtbl.mem seen id then []
+    else begin
+      Hashtbl.replace seen id ();
+      decr budget;
+      let s = get t id in
+      let above = chain s.sp_parent in
+      let because = if s.sp_cause >= 0 then chain s.sp_cause else [] in
+      above @ because @ [ s ]
+    end
+  in
+  chain id
+
+let render s =
+  let buf = Buffer.create 64 in
+  Buffer.add_string buf (Printf.sprintf "%8.3f  %-12s %s" s.sp_start s.sp_node s.sp_name);
+  (match s.sp_drop with
+  | Some r -> Buffer.add_string buf (Printf.sprintf " [dropped: %s]" (drop_reason_name r))
+  | None -> ());
+  (match List.rev s.sp_attrs with
+  | [] -> ()
+  | attrs ->
+    Buffer.add_string buf " (";
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_string buf ", ";
+        Buffer.add_string buf k;
+        Buffer.add_char buf '=';
+        Buffer.add_string buf v)
+      attrs;
+    Buffer.add_char buf ')');
+  Buffer.contents buf
+
+let render_chain spans = List.map render spans

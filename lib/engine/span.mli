@@ -1,0 +1,133 @@
+(** Causal packet-lineage collector.
+
+    A collector owns a flat array of {e spans} — intervals of simulated
+    time attributed to a node, linked into trees by parent edges and
+    across trees by {e causal} edges — plus point-in-time {e marks}
+    used for handover latency breakdowns.  Every injected packet starts
+    a fresh {e trace}; the span tree grown under that trace id records
+    the packet's journey across links, tunnels and fan-out, and a typed
+    {!drop_reason} terminates the branches that die.
+
+    Collection is owned by {!Sim.set_lineage} and is {b off by
+    default}: no collector installed means the instrumented hot paths
+    run their original allocation-free code (the {!Sim.enable_profiling}
+    discipline).  The collector itself never draws randomness, writes
+    no {!Trace} records and adds no delays, so enabling it cannot
+    perturb a simulation's schedule or golden digests. *)
+
+(** Why a packet (or one delivery of it) died, typed so tooling can
+    aggregate per-reason counts. *)
+type drop_reason =
+  | Loss_fault  (** loss-rate fault injection ate this delivery *)
+  | Link_down  (** link was down at transmit or delivery time *)
+  | Not_attached  (** sender or receiver not attached to the link *)
+  | No_handler  (** receiver has no protocol stack installed *)
+  | Malformed  (** wire-check decode rejected the frame *)
+  | Rpf_fail  (** PIM-DM: data arrived from an unroutable source *)
+  | Pruned_iface  (** PIM-DM: no downstream interface wanted it *)
+  | Hop_limit  (** hop limit expired in forwarding *)
+  | No_route  (** unicast forwarding found no route / next hop *)
+  | Not_joined  (** host received group traffic it is not joined to *)
+
+val drop_reason_name : drop_reason -> string
+val drop_reason_of_name : string -> drop_reason option
+val all_drop_reasons : drop_reason list
+
+type span = {
+  sp_id : int;
+  sp_trace : int;  (** trace (injection) this span belongs to *)
+  sp_parent : int;  (** parent span id, [-1] = trace root *)
+  sp_name : string;
+  sp_node : string;  (** node the work happened on, [""] if n/a *)
+  sp_start : Time.t;
+  mutable sp_end : Time.t;
+  mutable sp_drop : drop_reason option;
+  mutable sp_cause : int;
+      (** causal edge into another lineage ([-1] = none): the span that
+          {e made} this one happen without being its tree parent — e.g.
+          the received Prune that triggered a Graft. *)
+  mutable sp_attrs : (string * string) list;  (** newest first *)
+}
+
+type mark = {
+  mk_at : Time.t;
+  mk_name : string;
+  mk_node : string;
+  mk_attrs : (string * string) list;
+}
+
+type t
+
+val create : unit -> t
+
+val span_count : t -> int
+val mark_count : t -> int
+
+val get : t -> int -> span
+(** @raise Invalid_argument for an unknown id. *)
+
+val iter : t -> (span -> unit) -> unit
+val spans : t -> span list
+val marks : t -> mark list
+
+val fresh_trace : t -> int
+
+(** {2 Ambient causal context}
+
+    The collector carries the (trace, span) under which the engine is
+    currently working; instrumentation reads it so a transmission that
+    happens {e while handling} a received packet is automatically a
+    child of that packet's receive span. *)
+
+val context : t -> int * int
+(** [(trace, span)]; [(-1, -1)] when outside any lineage. *)
+
+val set_context : t -> int * int -> unit
+val clear_context : t -> unit
+
+val in_context : t -> int * int -> (unit -> 'a) -> 'a
+(** Run with the ambient context replaced, restoring on exit — used to
+    re-establish a stored causal context inside timer callbacks. *)
+
+(** {2 Recording} *)
+
+val open_span :
+  t -> at:Time.t -> name:string -> node:string -> ?parent:int -> ?cause:int -> unit -> int
+(** Parents to [?parent] if given (inheriting its trace), else to the
+    ambient span; with no ambient context a fresh trace is started. *)
+
+val close_span : t -> at:Time.t -> int -> unit
+val set_attr : t -> int -> string -> string -> unit
+val set_cause : t -> int -> int -> unit
+
+val event : t -> at:Time.t -> name:string -> node:string -> ?parent:int -> ?cause:int -> unit -> int
+(** Zero-duration span (a state transition). *)
+
+val drop :
+  t -> at:Time.t -> node:string -> reason:drop_reason -> ?detail:string -> ?parent:int -> unit -> int
+(** Terminal zero-duration span named ["drop:<reason>"] with
+    {!field-sp_drop} set. *)
+
+val mark : t -> at:Time.t -> name:string -> node:string -> ?attrs:(string * string) list -> unit -> unit
+
+val restore : t -> span -> unit
+(** Re-add a span loaded from disk.  Ids must arrive in ascending
+    0-based order.  @raise Invalid_argument otherwise. *)
+
+val restore_mark : t -> mark -> unit
+
+(** {2 Queries} *)
+
+val last_matching : t -> ?before:Time.t -> (span -> bool) -> span option
+(** Most recently opened span satisfying the predicate (and starting at
+    or before [?before]). *)
+
+val ancestry : t -> int -> span list
+(** Root-first parent chain ending at the given span. *)
+
+val causal_chain : t -> int -> span list
+(** Like {!ancestry} but splicing each causal edge's own chain in
+    front of the span it triggered; cycle-safe and bounded. *)
+
+val render : span -> string
+val render_chain : span list -> string list

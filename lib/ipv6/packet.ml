@@ -183,3 +183,30 @@ let rec pp ppf t =
    | Nd m -> Format.fprintf ppf " %a" Nd_message.pp m
    | Encapsulated inner -> Format.fprintf ppf " tunnel[%a]" pp inner
    | Empty -> ())
+
+(* Compact single-token label for lineage span names: cheap to build
+   (no formatter), stable across runs, and short enough for trace-event
+   viewers.  Called only when lineage collection is enabled. *)
+let rec label t =
+  match t.payload with
+  | Data { stream_id; seq; _ } -> Printf.sprintf "data s%d#%d" stream_id seq
+  | Mld (Mld_message.Query _) -> "mld-query"
+  | Mld (Mld_message.Report _) -> "mld-report"
+  | Mld (Mld_message.Done _) -> "mld-done"
+  | Pim (Pim_message.Hello _) -> "pim-hello"
+  | Pim (Pim_message.Join_prune _) -> "pim-join-prune"
+  | Pim (Pim_message.Graft _) -> "pim-graft"
+  | Pim (Pim_message.Graft_ack _) -> "pim-graft-ack"
+  | Pim (Pim_message.Assert _) -> "pim-assert"
+  | Pim _ -> "pim"
+  | Nd _ -> "nd"
+  | Encapsulated inner -> "tunnel[" ^ label inner ^ "]"
+  | Empty ->
+    if List.exists (function Binding_update _ -> true | _ -> false) t.dest_options
+    then "bu"
+    else if
+      List.exists
+        (function Binding_acknowledgement _ -> true | _ -> false)
+        t.dest_options
+    then "back"
+    else "ctl"

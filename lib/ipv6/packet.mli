@@ -97,3 +97,7 @@ val is_multicast_dst : t -> bool
 val equal : t -> t -> bool
 
 val pp : Format.formatter -> t -> unit
+
+val label : t -> string
+(** Compact single-token description (["data s0#17"], ["pim-graft"],
+    ["tunnel[data s0#17]"]) used to name lineage spans. *)

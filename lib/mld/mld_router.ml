@@ -70,10 +70,25 @@ let start t =
   send_general_query t;
   schedule_next_query t
 
+(* Listener-set transitions as zero-duration lineage spans: when they
+   happen inside a packet handler (a Report arriving) they chain under
+   that packet's receive span, which is how "graft sent because a
+   listener appeared" becomes one causal story. *)
+let lmld_event t name group =
+  match Engine.Sim.lineage t.env.Mld_env.sim with
+  | None -> ()
+  | Some c ->
+    let id =
+      Engine.Span.event c ~at:(Engine.Sim.now t.env.Mld_env.sim) ~name
+        ~node:t.env.Mld_env.label ()
+    in
+    Engine.Span.set_attr c id "group" (Addr.to_string group)
+
 let remove_membership t group m =
   Engine.Timer.stop m.expiry;
   Hashtbl.remove t.members group;
   trace t "no more listeners for %s" (Addr.to_string group);
+  lmld_event t "mld-listener-removed" group;
   t.callbacks.listener_removed group
 
 let stop t =
@@ -103,6 +118,7 @@ let refresh_membership t group =
     Hashtbl.replace t.members group { expiry };
     Engine.Timer.start expiry lifetime;
     trace t "new listener for %s" (Addr.to_string group);
+    lmld_event t "mld-listener-added" group;
     t.callbacks.listener_added group
 
 let become_non_querier t ~observed_querier:_ =

@@ -236,8 +236,30 @@ let duplicates_injected t = t.duplicated
 let reordered t = t.reordered
 let blocked t = t.blocked
 
+(* Lineage drop record at a delivery-stage decision point, parented to
+   the transmission span when one exists.  A plain function (not a
+   closure built per delivery) so the disabled path allocates nothing. *)
+let record_drop t ~to_node ~txsp reason =
+  match Engine.Sim.lineage t.sim with
+  | None -> ()
+  | Some c ->
+    ignore
+      (Engine.Span.drop c ~at:(Engine.Sim.now t.sim)
+         ~node:(Topology.node_name t.topology to_node)
+         ~reason
+         ~parent:txsp ())
+
 let drop_malformed t ~link ~to_node reason =
   count_malformed t to_node;
+  (match Engine.Sim.lineage t.sim with
+  | None -> ()
+  | Some c ->
+    (* Ambient context is the delivery's rx span, so the malformed
+       drop lands inside the right lineage. *)
+    ignore
+      (Engine.Span.drop c ~at:(Engine.Sim.now t.sim)
+         ~node:(Topology.node_name t.topology to_node)
+         ~reason:Engine.Span.Malformed ~detail:reason ()));
   Engine.Trace.recordf t.trace ~category:"link" "%s dropped malformed frame on %s: %s"
     (Topology.node_name t.topology to_node)
     (Topology.link_name t.topology link)
@@ -285,27 +307,55 @@ let deliver_wire t ~link ~from ~to_node handler cell =
       | Ok received -> handler ~link ~from received
       | Error reason -> drop_malformed t ~link ~to_node reason)
 
-let deliver t ~link ~from ~to_node cell =
+let deliver t ~link ~from ~to_node ~txsp cell =
   (* Attachment and link state are re-checked at delivery time: a node
      that moved away while the frame was in flight misses it, and a
      link that went down kills its in-flight frames.  On a faultless
      network both checks reduce to the attachment test. *)
   let faultless = faultless t in
-  if (not faultless) && not (link_is_up t link) then t.blocked <- t.blocked + 1
-  else if Topology.is_attached t.topology to_node link then begin
+  if (not faultless) && not (link_is_up t link) then begin
+    t.blocked <- t.blocked + 1;
+    record_drop t ~to_node ~txsp Engine.Span.Link_down
+  end
+  else if not (Topology.is_attached t.topology to_node link) then
+    (* A node that detached mid-flight misses the frame silently (no
+       counter — a handoff dropping in-flight frames is the modelled
+       behaviour); lineage still wants the typed reason. *)
+    record_drop t ~to_node ~txsp Engine.Span.Not_attached
+  else begin
     let rate = if faultless then 0.0 else loss_rate t link in
-    if rate > 0.0 && Engine.Rng.float t.loss_rng 1.0 < rate then t.lost <- t.lost + 1
+    if rate > 0.0 && Engine.Rng.float t.loss_rng 1.0 < rate then begin
+      t.lost <- t.lost + 1;
+      record_drop t ~to_node ~txsp Engine.Span.Loss_fault
+    end
     else
       match Hashtbl.find_opt t.handlers to_node with
-      | Some handler ->
-        if t.wire_check then deliver_wire t ~link ~from ~to_node handler cell
-        else handler ~link ~from (Codec.Frame.packet cell)
-      | None -> ()
+      | Some handler -> (
+        match Engine.Sim.lineage t.sim with
+        | None ->
+          if t.wire_check then deliver_wire t ~link ~from ~to_node handler cell
+          else handler ~link ~from (Codec.Frame.packet cell)
+        | Some c ->
+          let at = Engine.Sim.now t.sim in
+          let rx =
+            Engine.Span.open_span c ~at
+              ~name:("rx " ^ Packet.label (Codec.Frame.packet cell))
+              ~node:(Topology.node_name t.topology to_node)
+              ~parent:txsp ()
+          in
+          Engine.Span.set_attr c rx "link" (Topology.link_name t.topology link);
+          Engine.Span.in_context c ((Engine.Span.get c rx).Engine.Span.sp_trace, rx)
+            (fun () ->
+              if t.wire_check then deliver_wire t ~link ~from ~to_node handler cell
+              else handler ~link ~from (Codec.Frame.packet cell));
+          Engine.Span.close_span c ~at rx)
+      | None -> record_drop t ~to_node ~txsp Engine.Span.No_handler
   end
 
 let transmit t ~from ~link dest packet =
   if not (Topology.is_attached t.topology from link) then begin
     t.dropped <- t.dropped + 1;
+    record_drop t ~to_node:from ~txsp:(-1) Engine.Span.Not_attached;
     Engine.Trace.recordf t.trace ~category:"link" "drop: %s not attached to %s"
       (Topology.node_name t.topology from)
       (Topology.link_name t.topology link)
@@ -317,6 +367,7 @@ let transmit t ~from ~link dest packet =
       (* A down link takes no frames at all; the sender's MAC would
          report carrier loss, which no protocol here listens to. *)
       t.blocked <- t.blocked + 1;
+      record_drop t ~to_node:from ~txsp:(-1) Engine.Span.Link_down;
       Engine.Trace.recordf t.trace ~category:"fault" "blocked: %s is down"
         (Topology.link_name t.topology link)
     | _ ->
@@ -347,10 +398,32 @@ let transmit t ~from ~link dest packet =
           (Topology.link_delay t.topology link)
           (float_of_int (8 * size) /. Topology.link_bandwidth_bps t.topology link)
       in
+      (* Lineage: the transmission span.  Under an ambient context (a
+         handler forwarding what it just received) this chains as a
+         child of the receive span, which is exactly how a PIM-DM flood
+         step becomes one child span per downstream link; with no
+         ambient context (fresh injection) it roots a new trace.  When
+         collection is off [txsp] is -1 and the captured closure grows
+         by one immediate word — no allocation, no encode, no copy. *)
+      let txsp =
+        match Engine.Sim.lineage t.sim with
+        | None -> -1
+        | Some c ->
+          let at = Engine.Sim.now t.sim in
+          let id =
+            Engine.Span.open_span c ~at
+              ~name:("tx " ^ Packet.label packet)
+              ~node:(Topology.node_name t.topology from)
+              ()
+          in
+          Engine.Span.set_attr c id "link" (Topology.link_name t.topology link);
+          Engine.Span.close_span c ~at:(Engine.Time.add at base_delay) id;
+          id
+      in
       let schedule to_node delay =
         ignore
           (Engine.Sim.schedule_after ~category:"net" t.sim delay (fun () ->
-               deliver t ~link ~from ~to_node cell))
+               deliver t ~link ~from ~to_node ~txsp cell))
       in
       let deliver_to to_node =
         let delay =

@@ -1,0 +1,37 @@
+(** Lineage exports: Chrome trace-event JSON and per-handover latency
+    breakdowns.
+
+    The catapult export loads straight into [chrome://tracing] or
+    Perfetto — spans as complete events on one thread per node, marks
+    as instant events, causal edges as flow arrows.  The handover
+    breakdown splits each handover's service disruption into the
+    stages the paper discusses (movement detection, binding-update
+    propagation, tunnel setup, graft propagation, first delivery),
+    reconstructed from the marks the protocol layers record. *)
+
+val catapult_json : Lineage.t -> Json.t
+val save_catapult : Lineage.t -> path:string -> unit
+
+type breakdown = {
+  hb_node : string;  (** mobile node *)
+  hb_at : Engine.Time.t;  (** handoff time *)
+  hb_from : string;  (** link left *)
+  hb_to : string;  (** link joined *)
+  hb_movement_detection_s : float option;  (** handoff to attach *)
+  hb_bu_propagation_s : float option;  (** BU sent to BA received *)
+  hb_tunnel_setup_s : float option;  (** handoff to home-agent tunnel up *)
+  hb_graft_propagation_s : float option;  (** Graft sent to Graft-Ack *)
+  hb_first_delivery_s : float option;  (** handoff to first fresh delivery *)
+}
+
+val handover_breakdowns : Lineage.t -> breakdown list
+(** One record per "handoff" mark, in simulation order; each stage is
+    [None] when the corresponding marks never appeared inside that
+    handover's window. *)
+
+val breakdown_json : breakdown -> Json.t
+
+val handovers_json : Lineage.t -> Json.t
+(** [mmcast-lineage/1] document with [kind = "handover-breakdown"]. *)
+
+val pp_breakdown : Format.formatter -> breakdown -> unit

@@ -1,0 +1,51 @@
+(** Causal packet-lineage store: a {!Span} collector plus run metadata,
+    with happens-before queries and the [mmcast-lineage/1] on-disk
+    format.
+
+    The collector itself lives in the engine ({!Engine.Span}) so the
+    protocol layers can emit spans; this module owns everything that
+    happens {e after} collection — persisting a run's lineage under
+    [--telemetry], reloading it for the [mmcast_sim lineage] subcommand
+    and answering "why was this dropped" / "how was this delivered"
+    queries with rendered causal chains. *)
+
+type t
+
+val schema : string
+(** ["mmcast-lineage/1"]. *)
+
+val create : ?approach:string -> unit -> t
+(** Fresh, empty store.  [approach] labels which simulated approach
+    (e.g. ["remote"], ["home"]) produced the trace. *)
+
+val collector : t -> Engine.Span.t
+val approach : t -> string
+val set_approach : t -> string -> unit
+
+val attach : t -> Engine.Sim.t -> unit
+(** Install this store's collector via {!Engine.Sim.set_lineage},
+    enabling lineage collection on the simulation. *)
+
+val span_count : t -> int
+val mark_count : t -> int
+
+(** {2 Happens-before queries} *)
+
+val why_dropped : t -> ?node:string -> ?before:Engine.Time.t -> unit -> Engine.Span.span list option
+(** Causal chain (root-first, causes spliced in) ending at the most
+    recent drop span — on [node] if given, at or before [before] if
+    given.  [None] when no matching drop was recorded. *)
+
+val delivery_chain : t -> ?node:string -> ?before:Engine.Time.t -> unit -> Engine.Span.span list option
+(** Same, for the most recent application delivery span. *)
+
+val drop_counts : t -> (string * int) list
+(** Per-reason drop totals, in {!Engine.Span.all_drop_reasons} order,
+    omitting reasons with zero count. *)
+
+(** {2 Persistence} *)
+
+val to_json : t -> Json.t
+val of_json : Json.t -> (t, string) result
+val save : t -> path:string -> unit
+val load : string -> (t, string) result

@@ -232,12 +232,13 @@ let parse_options r ~off ~limit =
   in
   loop off []
 
-let read data =
-  try
-    let r = { data; big_endian = false } in
-    let interfaces = ref [] in
-    let frames = ref [] in
-    let application = ref None in
+let read_lenient data =
+  let r = { data; big_endian = false } in
+  let interfaces = ref [] in
+  let frames = ref [] in
+  let application = ref None in
+  let error = ref None in
+  (try
     let len = Bytes.length data in
     if len = 0 then failf "empty capture";
     let rec blocks off =
@@ -327,14 +328,24 @@ let read data =
         blocks (off + total)
       end
     in
-    blocks 0;
-    Ok
-      { interfaces = List.rev !interfaces;
-        frames = List.rev !frames;
-        application = !application }
-  with Bad msg -> Error msg
+    blocks 0
+  with Bad msg -> error := Some msg);
+  ( { interfaces = List.rev !interfaces;
+      frames = List.rev !frames;
+      application = !application },
+    !error )
+
+let read data =
+  match read_lenient data with
+  | cap, None -> Ok cap
+  | _, Some msg -> Error msg
 
 let read_file path =
   match In_channel.with_open_bin path In_channel.input_all with
   | contents -> read (Bytes.of_string contents)
+  | exception Sys_error msg -> Error msg
+
+let read_file_lenient path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | contents -> Ok (read_lenient (Bytes.of_string contents))
   | exception Sys_error msg -> Error msg

@@ -54,3 +54,14 @@ type capture = {
 
 val read : bytes -> (capture, string) result
 val read_file : string -> (capture, string) result
+
+val read_lenient : bytes -> capture * string option
+(** Like {!read}, but a structural error — e.g. a final Enhanced
+    Packet Block cut off mid-write — returns every block parsed before
+    it together with the error, instead of discarding the capture.
+    The validator uses this to summarize a damaged file and still exit
+    nonzero. *)
+
+val read_file_lenient : string -> (capture * string option, string) result
+(** [Error] only for file-system errors; structural damage is reported
+    through the lenient pair. *)

@@ -36,6 +36,17 @@ let series t ?unit_ name =
     t.all_series <- s :: t.all_series;
     s
 
+(* Registering two probes under one name would interleave their points
+   into a single series — a silent data bug, caught here instead. *)
+let fresh_series t ?unit_ name =
+  if Hashtbl.mem t.by_name name then
+    invalid_arg
+      (Printf.sprintf
+         "Obs.Registry: a probe named %S is already registered; pick a distinct \
+          series name"
+         name);
+  series t ?unit_ name
+
 let now_s t = Engine.Time.seconds (Engine.Sim.now t.sim)
 
 let append t s v = s.s_points <- (now_s t, v) :: s.s_points
@@ -43,7 +54,7 @@ let append t s v = s.s_points <- (now_s t, v) :: s.s_points
 let add_sampler t f = t.samplers <- f :: t.samplers
 
 let gauge t ?unit_ name read =
-  let s = series t ?unit_ name in
+  let s = fresh_series t ?unit_ name in
   add_sampler t (fun () -> append t s (read ()))
 
 let int_gauge t ?unit_ name read = gauge t ?unit_ name (fun () -> float_of_int (read ()))
@@ -54,9 +65,22 @@ let counter t ?unit_ name c =
 let timeline t ?unit_ name tl =
   gauge t ?unit_ name (fun () -> Engine.Stats.Timeline.current tl)
 
-let summary t ?unit_ name s = t.snapshots <- (name, Snap_summary (unit_, s)) :: t.snapshots
+let fresh_snapshot t name snap =
+  if List.mem_assoc name t.snapshots then
+    invalid_arg
+      (Printf.sprintf
+         "Obs.Registry: a distribution named %S is already registered; pick a \
+          distinct name"
+         name);
+  t.snapshots <- (name, snap) :: t.snapshots
 
-let histogram t name h = t.snapshots <- (name, Snap_histogram h) :: t.snapshots
+let summary t ?unit_ name s = fresh_snapshot t name (Snap_summary (unit_, s))
+
+let histogram t name h = fresh_snapshot t name (Snap_histogram h)
+
+let names t =
+  List.rev_map (fun s -> s.s_name) t.all_series
+  @ List.rev_map fst t.snapshots
 
 let sample t =
   t.ticks <- t.ticks + 1;

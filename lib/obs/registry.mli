@@ -24,7 +24,11 @@ val schema : string
 
 val series : t -> ?unit_:string -> string -> series
 (** Get or create a series by name, for pushing points directly.
-    Getting an existing series again returns the same one. *)
+    Getting an existing series again returns the same one.  The probe
+    registrars below ({!gauge}, {!counter}, ...) instead {b reject} a
+    name that is already taken — two probes feeding one series would
+    silently interleave their points.
+    @raise Invalid_argument from the registrars on a duplicate name. *)
 
 val append : t -> series -> float -> unit
 (** Record a point at the current simulation time. *)
@@ -65,6 +69,11 @@ val run_sampler : t -> every:Engine.Time.t -> until:Engine.Time.t -> unit
 
 val samples : t -> int
 (** Ticks taken so far (direct {!sample} calls included). *)
+
+val names : t -> string list
+(** Every registered name — series first, then snapshot distributions —
+    each group in registration order.  For tooling that enumerates
+    what a run will export without rendering the document. *)
 
 (** {2 Export} *)
 

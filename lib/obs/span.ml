@@ -1,0 +1,4 @@
+(* The collector lives in the engine so the protocol layers can emit
+   spans without a dependency cycle; re-exported here so observability
+   tooling reads naturally as [Obs.Span]. *)
+include Engine.Span

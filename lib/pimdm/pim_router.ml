@@ -34,6 +34,12 @@ type entry = {
   mutable last_prune_sent : Engine.Time.t option;
   mutable join_override : Engine.Sim.handle option;
   mutable refresh_timer : Engine.Timer.t option;  (* state-refresh origination *)
+  (* Lineage: the span that recorded our own upstream Prune (so a later
+     Graft can carry a causal edge back to it), and the causal context
+     under which the Graft went out (so retransmissions from the graft
+     timer rejoin the same lineage instead of rooting fresh traces). *)
+  mutable prune_cause : int;
+  mutable graft_ctx : int * int;
 }
 
 type t = {
@@ -47,6 +53,21 @@ type t = {
 let trace t fmt = Pim_env.trace t.env fmt
 let config t = t.env.Pim_env.config
 let now t = Engine.Sim.now t.env.Pim_env.sim
+
+let lineage t = Engine.Sim.lineage t.env.Pim_env.sim
+
+(* A protocol state transition as a zero-duration span under the
+   ambient lineage (the packet being handled), with an optional causal
+   edge; -1 when collection is off. *)
+let levent t name ?cause entry =
+  match lineage t with
+  | None -> -1
+  | Some c ->
+    let id =
+      Engine.Span.event c ~at:(now t) ~name ~node:t.env.Pim_env.label ?cause ()
+    in
+    Engine.Span.set_attr c id "group" (Addr.to_string entry.group);
+    id
 
 let sg entry = { Pim_message.source = entry.source; group = entry.group }
 
@@ -180,8 +201,17 @@ let create_entry t ~source ~group (rpf : Pim_env.rpf_result) =
               if e.upstream_state = Grafting then begin
                 (match e.upstream with
                  | Some up ->
-                   t.env.Pim_env.send_message e.iif
-                     (Pim_message.Graft { upstream_neighbor = up; joins = [ sg e ] });
+                   let send () =
+                     t.env.Pim_env.send_message e.iif
+                       (Pim_message.Graft { upstream_neighbor = up; joins = [ sg e ] })
+                   in
+                   (* Restore the lineage under which the original
+                      Graft went out, so retransmissions stay causally
+                      chained to the packet that triggered grafting. *)
+                   (match lineage t with
+                    | Some c when fst e.graft_ctx >= 0 ->
+                      Engine.Span.in_context c e.graft_ctx send
+                    | Some _ | None -> send ());
                    trace t "(%s,%s) graft retransmitted" (Addr.to_string source)
                      (Addr.to_string group)
                  | None -> ());
@@ -190,7 +220,9 @@ let create_entry t ~source ~group (rpf : Pim_env.rpf_result) =
               end);
         last_prune_sent = None;
         join_override = None;
-        refresh_timer = None }
+        refresh_timer = None;
+        prune_cause = -1;
+        graft_ctx = (-1, -1) }
   in
   let entry = Lazy.force entry in
   List.iter
@@ -283,6 +315,7 @@ let send_prune_upstream t entry =
            { upstream_neighbor = up; holdtime_s; joins = []; prunes = [ sg entry ] });
       entry.last_prune_sent <- Some (now t);
       entry.upstream_state <- Pruned_up;
+      entry.prune_cause <- levent t "pim-prune-sent" entry;
       trace t "(%s,%s) pruned upstream via iface %d" (Addr.to_string entry.source)
         (Addr.to_string entry.group) entry.iif
     end
@@ -293,6 +326,21 @@ let send_graft_upstream t entry =
   | Some up ->
     if (config t).Pim_config.enable_graft && entry.upstream_state <> Grafting then begin
       entry.upstream_state <- Grafting;
+      (* The Graft is sent *because* an earlier Prune detached this
+         branch: a causal edge back to the recorded prune span turns
+         "graft sent" into an explainable event across lineages. *)
+      (match lineage t with
+       | None -> ()
+       | Some c ->
+         let cause = if entry.prune_cause >= 0 then Some entry.prune_cause else None in
+         let id = levent t "pim-graft-sent" ?cause entry in
+         let ctx = Engine.Span.context c in
+         entry.graft_ctx <-
+           (if fst ctx >= 0 then ctx
+            else ((Engine.Span.get c id).Engine.Span.sp_trace, id));
+         Engine.Span.mark c ~at:(now t) ~name:"graft-sent" ~node:t.env.Pim_env.label
+           ~attrs:[ ("group", Addr.to_string entry.group) ]
+           ());
       t.env.Pim_env.send_message entry.iif
         (Pim_message.Graft { upstream_neighbor = up; joins = [ sg entry ] });
       Engine.Timer.start entry.graft_timer (config t).Pim_config.graft_retry;
@@ -346,7 +394,19 @@ let forward t entry packet =
       then o.leaf_flooded <- true;
       t.env.Pim_env.forward_data iface packet)
     targets;
-  if targets = [] then send_prune_upstream t entry
+  if targets = [] then begin
+    (* No downstream interface wanted it: the datagram dies here, and
+       the lineage records the typed reason before the Prune goes out
+       (so the chain reads drop → prune → later graft). *)
+    (match lineage t with
+     | None -> ()
+     | Some c ->
+       ignore
+         (Engine.Span.drop c ~at:(now t) ~node:t.env.Pim_env.label
+            ~reason:Engine.Span.Pruned_iface
+            ~detail:(Addr.to_string entry.group) ()));
+    send_prune_upstream t entry
+  end
 
 let my_assert_metric t entry = ((config t).Pim_config.metric_preference, entry.metric)
 
@@ -363,6 +423,13 @@ let handle_data t ~iface packet =
     let source = packet.Packet.src and group = packet.Packet.dst in
     match find_or_create_entry t ~source ~group with
     | None ->
+      (match lineage t with
+       | None -> ()
+       | Some c ->
+         ignore
+           (Engine.Span.drop c ~at:(now t) ~node:t.env.Pim_env.label
+              ~reason:Engine.Span.Rpf_fail
+              ~detail:(Addr.to_string source) ()));
       trace t "data from unroutable source %s dropped" (Addr.to_string source)
     | Some entry ->
       if iface = entry.iif then begin
@@ -393,6 +460,7 @@ let handle_prune t ~iface ~upstream_neighbor entry =
       | Forwarding ->
         o.prune <- Prune_pending;
         Engine.Timer.start o.prune_timer (config t).Pim_config.prune_delay;
+        ignore (levent t "pim-prune-pending" entry);
         trace t "(%s,%s) prune pending on iface %d (TPruneDel window)"
           (Addr.to_string entry.source) (Addr.to_string entry.group) iface
       | Pruned ->
@@ -420,6 +488,7 @@ let handle_join t ~iface ~upstream_neighbor entry =
       if o.prune <> Forwarding then begin
         o.prune <- Forwarding;
         Engine.Timer.stop o.prune_timer;
+        ignore (levent t "pim-join" entry);
         trace t "(%s,%s) join cancels prune on iface %d" (Addr.to_string entry.source)
           (Addr.to_string entry.group) iface
       end
@@ -448,6 +517,7 @@ let handle_graft t ~iface ~src ~upstream_neighbor joins =
               o.prune <- Forwarding;
               Engine.Timer.stop o.prune_timer;
               o.leaf_flooded <- false;
+              ignore (levent t "pim-grafted-iface" entry);
               trace t "(%s,%s) grafted iface %d" (Addr.to_string source)
                 (Addr.to_string group) iface;
               (* Cascade: if we had pruned ourselves off, rejoin. *)
@@ -468,6 +538,16 @@ let handle_graft_ack t ~iface ~upstream_neighbor joins =
         | Some entry when entry.upstream_state = Grafting ->
           entry.upstream_state <- Joined;
           Engine.Timer.stop entry.graft_timer;
+          entry.prune_cause <- -1;
+          entry.graft_ctx <- (-1, -1);
+          ignore (levent t "pim-graft-acked" entry);
+          (match lineage t with
+           | None -> ()
+           | Some c ->
+             Engine.Span.mark c ~at:(now t) ~name:"graft-acked"
+               ~node:t.env.Pim_env.label
+               ~attrs:[ ("group", Addr.to_string group) ]
+               ());
           trace t "(%s,%s) graft acknowledged" (Addr.to_string source) (Addr.to_string group)
         | Some _ | None -> ())
       joins

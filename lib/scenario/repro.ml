@@ -9,6 +9,7 @@ type t = {
   rp_sched : Runner.schedule;
   rp_detail : string;
   rp_trace : string list;
+  rp_chain : string list;
 }
 
 let schema = "mmcast-repro/2"
@@ -28,15 +29,18 @@ let render_trace records =
     records
 
 let capture ~desc ~approach ~invariant ~sustain ~sched =
-  let outcome = Runner.run ~sustain ~sched desc approach in
-  let detail, trace =
+  (* Capture re-runs the shrunk minimum with lineage collection on, so
+     the bundle embeds the causal chain behind the violation. *)
+  let outcome = Runner.run ~sustain ~sched ~lineage:true desc approach in
+  let detail, trace, chain =
     match violation_matching invariant outcome with
     | Some v ->
       ( Printf.sprintf "%s at t=%.1f on %s: %s"
           (Monitor.invariant_name v.Monitor.v_invariant)
           v.Monitor.v_at v.Monitor.v_where v.Monitor.v_detail,
-        render_trace v.Monitor.v_trace )
-    | None -> ("minimum did not re-violate at capture time", [])
+        render_trace v.Monitor.v_trace,
+        v.Monitor.v_chain )
+    | None -> ("minimum did not re-violate at capture time", [], [])
   in
   { rp_desc = desc;
     rp_approach = approach;
@@ -44,7 +48,8 @@ let capture ~desc ~approach ~invariant ~sustain ~sched =
     rp_sustain = sustain;
     rp_sched = sched;
     rp_detail = detail;
-    rp_trace = trace }
+    rp_trace = trace;
+    rp_chain = chain }
 
 let of_shrink (sh : Shrink.result) ~sustain =
   capture ~desc:sh.Shrink.sh_min ~approach:sh.Shrink.sh_approach
@@ -104,7 +109,8 @@ let to_json t =
       ("detail", Json.String t.rp_detail);
       ("scenario", Desc.to_json t.rp_desc);
       ("scenario_digest", Json.String (Desc.digest t.rp_desc));
-      ("trace", Json.strings t.rp_trace) ]
+      ("trace", Json.strings t.rp_trace);
+      ("chain", Json.strings t.rp_chain) ]
 
 let of_json j =
   let ( let* ) = Result.bind in
@@ -141,16 +147,30 @@ let of_json j =
     in
     let* rp_desc = Desc.of_json scenario in
     let* trace = field "trace" Json.to_list_opt in
-    let* rp_trace =
+    let string_lines what lines =
       List.fold_left
         (fun acc line ->
           let* rev = acc in
-          let* s = Option.to_result ~none:"repro: non-string trace line" (Json.to_string_opt line) in
+          let* s =
+            Option.to_result
+              ~none:(Printf.sprintf "repro: non-string %s line" what)
+              (Json.to_string_opt line)
+          in
           Ok (s :: rev))
-        (Ok []) trace
+        (Ok []) lines
       |> Result.map List.rev
     in
-    Ok { rp_desc; rp_approach; rp_invariant; rp_sustain; rp_sched; rp_detail; rp_trace }
+    let* rp_trace = string_lines "trace" trace in
+    (* Bundles written before lineage collection existed have no
+       "chain" field; they load with an empty chain. *)
+    let* rp_chain =
+      match Option.bind (Json.member "chain" j) Json.to_list_opt with
+      | None -> Ok []
+      | Some lines -> string_lines "chain" lines
+    in
+    Ok
+      { rp_desc; rp_approach; rp_invariant; rp_sustain; rp_sched; rp_detail; rp_trace;
+        rp_chain }
 
 let ensure_dir dir = if not (Sys.file_exists dir) then Unix.mkdir dir 0o755
 

@@ -19,6 +19,11 @@ type t = {
           {!Runner.canonical_schedule} for pure scenario repros *)
   rp_detail : string;  (** human-readable summary of the violation *)
   rp_trace : string list;  (** rendered trace excerpt, oldest first *)
+  rp_chain : string list;
+      (** rendered causal chain from lineage collection at capture
+          time, root first; [[]] when collection was off or no drop
+          was in scope (bundles written before lineage existed load
+          with an empty chain) *)
 }
 
 val schema : string

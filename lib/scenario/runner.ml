@@ -76,7 +76,7 @@ let compile_faults scenario (d : Desc.t) =
         Faults.crash ~node ~at ~recover_at ())
     d.Desc.d_faults
 
-let run ?sustain ?sched ?decider (d : Desc.t) approach =
+let run ?sustain ?sched ?decider ?(lineage = false) (d : Desc.t) approach =
   (match Desc.validate d with
   | Ok () -> ()
   | Error msg -> invalid_arg (Printf.sprintf "Runner.run: %s: %s" d.Desc.d_name msg));
@@ -86,6 +86,9 @@ let run ?sustain ?sched ?decider (d : Desc.t) approach =
     Scenario.build spec ~links:d.Desc.d_links ~routers:d.Desc.d_routers
       ~hosts:d.Desc.d_hosts
   in
+  (* The collector draws no randomness and writes no trace records, so
+     turning it on cannot change the outcome — only enrich it. *)
+  if lineage then Engine.Sim.set_lineage scenario.Scenario.sim (Some (Engine.Span.create ()));
   (* The decider must be in place before fault installation (crash
      placement consults it) and before any event runs. *)
   let sch = Option.value sched ~default:canonical_schedule in

@@ -61,13 +61,17 @@ val run :
   ?sustain:Engine.Time.t ->
   ?sched:schedule ->
   ?decider:(kind:Engine.Sim.choice_kind -> arity:int -> int) ->
+  ?lineage:bool ->
   Desc.t ->
   Mmcast.Approach.t ->
   outcome
 (** Build the network, install the fault schedule, attach the monitor
     (with [sustain] overriding its convergence bound when given — the
     shrinker uses a short one), schedule the churn events and senders,
-    and run to the descriptor's duration.
+    and run to the descriptor's duration.  [lineage] installs a causal
+    packet-lineage collector ({!Engine.Sim.set_lineage}) so detected
+    violations carry rendered causal chains; it draws no randomness
+    and leaves the outcome digest unchanged.
 
     [sched] pins the interleaving: its choices drive every engine
     choice point and its delay parameters configure per-hop delay

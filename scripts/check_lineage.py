@@ -1,0 +1,157 @@
+#!/usr/bin/env python3
+"""Validate mmcast-lineage/1 documents written under --telemetry.
+
+Checks a lineage store (lineage.json) and, optionally, a handover
+breakdown (handover.json) against the mmcast-lineage/1 shape:
+
+lineage store
+  - schema == "mmcast-lineage/1", approach is a string
+  - spans: ids ascending from 0; parent/cause reference earlier spans;
+    every span names a trace, has start_s <= end_s, and any drop field
+    uses a known reason name
+  - marks: chronological, each with at_s/name/node
+  - at least one injection span and one delivery or drop terminal,
+    so an "empty but schema-valid" file fails loudly
+
+handover breakdown
+  - schema == "mmcast-lineage/1", kind == "handover-breakdown"
+  - every record has node/at_s/from/to and only known stage fields,
+    each stage either null or a non-negative number
+
+Usage: check_lineage.py LINEAGE.json [HANDOVER.json]
+"""
+
+import json
+import sys
+
+SCHEMA = "mmcast-lineage/1"
+
+DROP_REASONS = {
+    "loss-fault",
+    "link-down",
+    "not-attached",
+    "no-handler",
+    "malformed",
+    "rpf-fail",
+    "pruned-iface",
+    "hop-limit",
+    "no-route",
+    "not-joined",
+}
+
+STAGES = (
+    "movement_detection_s",
+    "bu_propagation_s",
+    "tunnel_setup_s",
+    "graft_propagation_s",
+    "first_delivery_s",
+)
+
+
+def fail(path, msg):
+    sys.exit(f"{path}: {msg}")
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(path, str(e))
+
+
+def check_lineage(path):
+    doc = load(path)
+    if doc.get("schema") != SCHEMA:
+        fail(path, f"schema is {doc.get('schema')!r}, want {SCHEMA!r}")
+    if not isinstance(doc.get("approach"), str):
+        fail(path, "approach missing or not a string")
+    spans = doc.get("spans")
+    marks = doc.get("marks")
+    if not isinstance(spans, list) or not isinstance(marks, list):
+        fail(path, "spans/marks missing or not lists")
+    injections = deliveries = drops = 0
+    for i, sp in enumerate(spans):
+        where = f"span {i}"
+        if sp.get("id") != i:
+            fail(path, f"{where}: id {sp.get('id')!r}, want ascending from 0")
+        for field, ty in (("trace", int), ("name", str), ("node", str)):
+            if not isinstance(sp.get(field), ty):
+                fail(path, f"{where}: bad {field}")
+        for ref in ("parent", "cause"):
+            if ref in sp and not (
+                isinstance(sp[ref], int) and -1 <= sp[ref] < i
+            ):
+                fail(path, f"{where}: {ref} {sp[ref]!r} not an earlier span")
+        start, end = sp.get("start_s"), sp.get("end_s")
+        if not (
+            isinstance(start, (int, float))
+            and isinstance(end, (int, float))
+            and 0 <= start <= end
+        ):
+            fail(path, f"{where}: bad start_s/end_s")
+        if "drop" in sp:
+            if sp["drop"] not in DROP_REASONS:
+                fail(path, f"{where}: unknown drop reason {sp['drop']!r}")
+            drops += 1
+        name = sp["name"]
+        if name.startswith("inject"):
+            injections += 1
+        elif name.startswith("deliver"):
+            deliveries += 1
+    prev = 0.0
+    for i, mk in enumerate(marks):
+        where = f"mark {i}"
+        at = mk.get("at_s")
+        if not (isinstance(at, (int, float)) and at >= prev):
+            fail(path, f"{where}: at_s {at!r} not chronological")
+        prev = at
+        for field in ("name", "node"):
+            if not isinstance(mk.get(field), str):
+                fail(path, f"{where}: bad {field}")
+    if injections == 0:
+        fail(path, "no injection spans: the trace recorded no packets")
+    if deliveries == 0 and drops == 0:
+        fail(path, "no delivery or drop spans: every packet vanished untracked")
+    print(
+        f"ok   {path}: {len(spans)} span(s) ({injections} injection(s),"
+        f" {deliveries} delivery(ies), {drops} drop(s)), {len(marks)} mark(s)"
+    )
+
+
+def check_handover(path):
+    doc = load(path)
+    if doc.get("schema") != SCHEMA:
+        fail(path, f"schema is {doc.get('schema')!r}, want {SCHEMA!r}")
+    if doc.get("kind") != "handover-breakdown":
+        fail(path, f"kind is {doc.get('kind')!r}, want 'handover-breakdown'")
+    records = doc.get("handovers")
+    if not isinstance(records, list):
+        fail(path, "handovers missing or not a list")
+    for i, hb in enumerate(records):
+        where = f"handover {i}"
+        for field, ty in (("node", str), ("from", str), ("to", str)):
+            if not isinstance(hb.get(field), ty):
+                fail(path, f"{where}: bad {field}")
+        if not isinstance(hb.get("at_s"), (int, float)):
+            fail(path, f"{where}: bad at_s")
+        for stage in STAGES:
+            v = hb.get(stage)
+            if v is not None and not (isinstance(v, (int, float)) and v >= 0):
+                fail(path, f"{where}: stage {stage} is {v!r}")
+        extra = set(hb) - {"node", "at_s", "from", "to", *STAGES}
+        if extra:
+            fail(path, f"{where}: unknown fields {sorted(extra)}")
+    print(f"ok   {path}: {len(records)} handover record(s)")
+
+
+def main():
+    if len(sys.argv) not in (2, 3):
+        sys.exit(__doc__.strip())
+    check_lineage(sys.argv[1])
+    if len(sys.argv) == 3:
+        check_handover(sys.argv[2])
+
+
+if __name__ == "__main__":
+    main()

@@ -20,11 +20,20 @@ let golden =
     (Approach.tunnel_to_home_agent, "31c85789d8f678f4be952e82187b903d");
     (Approach.tunnel_from_home_agent, "bb3a07d1e1630a6aa01b2ff078763103") ]
 
-let canonical_run ?(wire_check = false) ?(capture = false) approach =
+let canonical_run ?(wire_check = false) ?(capture = false) ?(lineage = false)
+    approach =
   let spec = { Scenario.default_spec with Scenario.approach } in
   let scenario = Scenario.paper_figure1 spec in
   let sim = scenario.Scenario.sim in
   if wire_check then Net.Network.set_wire_check scenario.Scenario.net true;
+  let collector =
+    if lineage then begin
+      let c = Engine.Span.create () in
+      Engine.Sim.set_lineage sim (Some c);
+      Some c
+    end
+    else None
+  in
   let cap =
     if capture then Some (Obs.Capture.attach scenario.Scenario.net) else None
   in
@@ -58,6 +67,11 @@ let canonical_run ?(wire_check = false) ?(capture = false) approach =
    | Some c ->
      if Obs.Capture.frames c = 0 then
        Alcotest.fail "capture attached but recorded no frames"
+   | None -> ());
+  (match collector with
+   | Some c ->
+     if Engine.Span.span_count c = 0 then
+       Alcotest.fail "lineage collection on but no spans recorded"
    | None -> ());
   let trace = Net.Network.trace scenario.Scenario.net in
   (Engine.Trace.digest trace, Engine.Trace.count trace)
@@ -105,8 +119,28 @@ let perturbation_tests =
           Alcotest.(check string) "wire-check+capture digest" pinned both))
     golden
 
+(* Lineage collection promises the Sim.enable_profiling discipline:
+   off costs nothing, on perturbs nothing.  The second half of that is
+   pinned here — tracing on, the golden digests must be byte-identical,
+   even with the wire-exact path active. *)
+let lineage_purity_tests =
+  List.map
+    (fun (approach, pinned) ->
+      Alcotest.test_case
+        (Printf.sprintf "tracing non-perturbing (%s)" (Approach.name approach))
+        `Quick
+        (fun () ->
+          let traced, _ = canonical_run ~lineage:true approach in
+          Alcotest.(check string) "tracing-on digest" pinned traced;
+          let all, _ =
+            canonical_run ~lineage:true ~wire_check:true ~capture:true approach
+          in
+          Alcotest.(check string) "tracing+wire-check+capture digest" pinned all))
+    golden
+
 let () =
   Alcotest.run "golden"
     [ ("figure1 trace digests", golden_tests);
       ("stability", stability_tests);
-      ("observer purity", perturbation_tests) ]
+      ("observer purity", perturbation_tests);
+      ("lineage purity", lineage_purity_tests) ]

@@ -121,7 +121,34 @@ let pcapng_tests =
          | Ok _ -> Alcotest.fail "truncated tail accepted");
         match Obs.Pcapng.read (Bytes.sub full 0 11) with
         | Error _ -> ()
-        | Ok _ -> Alcotest.fail "truncated header accepted")
+        | Ok _ -> Alcotest.fail "truncated header accepted");
+    Alcotest.test_case "lenient reader keeps the readable prefix" `Quick (fun () ->
+        let w = Obs.Pcapng.Writer.create () in
+        let i = Obs.Pcapng.Writer.add_interface w ~name:"L" () in
+        Obs.Pcapng.Writer.add_packet w ~iface:i ~ts:1.0 (Bytes.of_string "first");
+        let intact = Bytes.length (Obs.Pcapng.Writer.contents w) in
+        Obs.Pcapng.Writer.add_packet w ~iface:i ~ts:2.0 (Bytes.of_string "second");
+        let full = Obs.Pcapng.Writer.contents w in
+        (* Cut mid-way through the final EPB: a capture whose writer
+           died mid-write. *)
+        let damaged = Bytes.sub full 0 (intact + 7) in
+        let cap, err = Obs.Pcapng.read_lenient damaged in
+        (match err with
+         | Some _ -> ()
+         | None -> Alcotest.fail "damage not reported");
+        (match cap.Obs.Pcapng.frames with
+         | [ f ] ->
+           Alcotest.(check bytes) "first frame survives"
+             (Bytes.of_string "first") f.Obs.Pcapng.frame_data
+         | frames ->
+           Alcotest.failf "expected the 1 intact frame, got %d" (List.length frames));
+        (* An undamaged capture reports no error and the same frames as
+           the strict reader. *)
+        let cap_ok, err_ok = Obs.Pcapng.read_lenient full in
+        (match err_ok with
+         | None -> ()
+         | Some e -> Alcotest.failf "intact capture flagged: %s" e);
+        Alcotest.(check int) "both frames" 2 (List.length cap_ok.Obs.Pcapng.frames))
   ]
 
 (* ---- live capture round trips ---- *)
@@ -223,6 +250,82 @@ let capture_tests =
         Alcotest.(check bool) "sender filter drops other sources" true
           (Obs.Capture.frames sender_only
           < Obs.Capture.frames (Option.get full)));
+    Alcotest.test_case "link and node filters compose" `Quick (fun () ->
+        (* S's uplink carries both S's own frames and the router's:
+           filtering on the link alone keeps more than filtering on the
+           link AND the node, and the composed capture is exactly the
+           S-originated subset of the link capture. *)
+        let run capture =
+          let _, cap = quickstart_scenario ~capture () in
+          Option.get cap
+        in
+        let link_only = run (fun net -> Obs.Capture.attach ~links:[ "L1" ] net) in
+        let both =
+          run (fun net -> Obs.Capture.attach ~links:[ "L1" ] ~nodes:[ "S" ] net)
+        in
+        Alcotest.(check bool) "composed capture saw traffic" true
+          (Obs.Capture.frames both > 0);
+        Alcotest.(check bool) "conjunction, not union" true
+          (Obs.Capture.frames both < Obs.Capture.frames link_only);
+        match
+          ( Obs.Pcapng.read (Obs.Capture.contents link_only),
+            Obs.Pcapng.read (Obs.Capture.contents both) )
+        with
+        | Ok link_cap, Ok both_cap ->
+          Alcotest.(check (list (option string)))
+            "single interface" [ Some "L1" ]
+            (List.map
+               (fun i -> i.Obs.Pcapng.intf_name)
+               both_cap.Obs.Pcapng.interfaces);
+          (* Every frame kept by the composed filter appears, in order,
+             in the link-only capture: composing never invents frames. *)
+          let bytes_of c =
+            List.map (fun f -> f.Obs.Pcapng.frame_data) c.Obs.Pcapng.frames
+          in
+          let rec subsequence = function
+            | [], _ -> true
+            | _ :: _, [] -> false
+            | x :: xs, y :: ys ->
+              if Bytes.equal x y then subsequence (xs, ys) else subsequence (x :: xs, ys)
+          in
+          Alcotest.(check bool) "subsequence of the link capture" true
+            (subsequence (bytes_of both_cap, bytes_of link_cap))
+        | Error e, _ | _, Error e -> Alcotest.fail e);
+    Alcotest.test_case "capture stays pristine through a corrupt window" `Quick
+      (fun () ->
+        (* Corruption mangles the receiver's copy at delivery time; the
+           capture records the frame at transmit time, so even with the
+           corrupt window active every captured frame must still decode.
+           This pins the copy-on-write frame path: a corrupting fault
+           must never scribble on the shared transmit buffer. *)
+        let scenario = Scenario.paper_figure1 Scenario.default_spec in
+        let cap = Obs.Capture.attach scenario.Scenario.net in
+        Traffic.at scenario 5.0 (fun () -> Scenario.subscribe_receivers scenario group);
+        ignore
+          (Traffic.cbr scenario (Scenario.host scenario "S") ~group ~from_t:10.0
+             ~until:80.0 ~interval:0.5 ~bytes:500);
+        ignore
+          (Scenario.install_faults scenario
+             [ Faults.corrupt_window
+                 ~link:(Scenario.link scenario "L3")
+                 ~rate:0.5 ~from_t:20.0 ~until:60.0 ]);
+        Scenario.run_until scenario 90.0;
+        Alcotest.(check bool) "corruption actually hit" true
+          (Net.Network.total_malformed_drops scenario.Scenario.net > 0);
+        match Obs.Pcapng.read (Obs.Capture.contents cap) with
+        | Error e -> Alcotest.failf "capture unreadable: %s" e
+        | Ok parsed ->
+          Alcotest.(check int) "all frames in the file"
+            (Obs.Capture.frames cap)
+            (List.length parsed.Obs.Pcapng.frames);
+          List.iter
+            (fun (f : Obs.Pcapng.frame) ->
+              match Ipv6.Codec.decode f.Obs.Pcapng.frame_data with
+              | Ok _ -> ()
+              | Error e ->
+                Alcotest.failf "corruption leaked into the capture at %.6f: %s"
+                  f.Obs.Pcapng.frame_ts e)
+            parsed.Obs.Pcapng.frames);
     Alcotest.test_case "unknown names rejected" `Quick (fun () ->
         let scenario = Scenario.paper_figure1 Scenario.default_spec in
         (match Obs.Capture.attach ~links:[ "L99" ] scenario.Scenario.net with
@@ -301,6 +404,48 @@ let registry_tests =
           Alcotest.(check (option (float 1e-9))) "histogram count" (Some 1.0)
             (Option.bind (Obs.Json.member "count" sizes) Obs.Json.to_float_opt)
         | _ -> Alcotest.fail "expected two distributions");
+    Alcotest.test_case "duplicate probe names rejected" `Quick (fun () ->
+        let reg = Obs.Registry.create (Engine.Sim.create ()) in
+        Obs.Registry.int_gauge reg "queue" (fun () -> 0);
+        (match Obs.Registry.gauge reg "queue" (fun () -> 0.0) with
+         | () -> Alcotest.fail "second probe under one series name accepted"
+         | exception Invalid_argument msg ->
+           (* The message must name the offender so the collision is
+              actionable without a stack trace. *)
+           let has_sub needle hay =
+             let n = String.length needle and h = String.length hay in
+             let rec go i =
+               i + n <= h && (String.sub hay i n = needle || go (i + 1))
+             in
+             go 0
+           in
+           Alcotest.(check bool) "message names the duplicate" true
+             (has_sub "\"queue\"" msg && has_sub "already registered" msg));
+        (match
+           Obs.Registry.counter reg "queue" (Engine.Stats.Counter.create ~name:"c" ())
+         with
+         | () -> Alcotest.fail "counter reused a gauge's name"
+         | exception Invalid_argument _ -> ());
+        let s = Engine.Stats.Summary.create () in
+        Obs.Registry.summary reg "lat" s;
+        (match Obs.Registry.summary reg "lat" s with
+         | () -> Alcotest.fail "duplicate distribution name accepted"
+         | exception Invalid_argument _ -> ());
+        (* Direct series access stays get-or-create: pushing points from
+           two sites into one named series is deliberate and allowed. *)
+        let a = Obs.Registry.series reg "direct" in
+        let b = Obs.Registry.series reg "direct" in
+        Alcotest.(check bool) "series is get-or-create" true (a == b));
+    Alcotest.test_case "names lists every registration in order" `Quick (fun () ->
+        let reg = Obs.Registry.create (Engine.Sim.create ()) in
+        Alcotest.(check (list string)) "empty registry" [] (Obs.Registry.names reg);
+        Obs.Registry.int_gauge reg "one" (fun () -> 1);
+        ignore (Obs.Registry.series reg "two");
+        Obs.Registry.summary reg "dist" (Engine.Stats.Summary.create ());
+        Obs.Registry.gauge reg "three" (fun () -> 3.0);
+        Alcotest.(check (list string)) "series first, then distributions"
+          [ "one"; "two"; "three"; "dist" ]
+          (Obs.Registry.names reg));
     Alcotest.test_case "sampler interval validated" `Quick (fun () ->
         let reg = Obs.Registry.create (Engine.Sim.create ()) in
         match Obs.Registry.run_sampler reg ~every:0.0 ~until:10.0 with
